@@ -1,0 +1,340 @@
+// Benchmarks regenerating the paper's tables and figures (one bench per
+// experiment, reporting the headline metric via b.ReportMetric), plus
+// microbenchmarks for the core substrates.
+//
+// The figure benches run a reduced-fidelity sweep per iteration, so run
+// them with -benchtime=1x for a single regeneration:
+//
+//	go test -bench 'BenchmarkFig' -benchtime=1x
+//
+// Full-fidelity numbers come from cmd/experiments (see EXPERIMENTS.md).
+package refsched_test
+
+import (
+	"testing"
+
+	"refsched"
+	"refsched/internal/cache"
+	"refsched/internal/config"
+	"refsched/internal/core"
+	"refsched/internal/harness"
+	"refsched/internal/kernel/buddy"
+	"refsched/internal/rbtree"
+	"refsched/internal/sim"
+	"refsched/internal/workload"
+)
+
+// benchParams is the reduced-fidelity preset for figure benches.
+func benchParams() harness.Params {
+	return harness.Params{
+		Scale:          512,
+		FootprintScale: 0.02,
+		WarmupWindows:  1,
+		MeasureWindows: 1,
+		Mixes:          []string{"WL-6"},
+		Seed:           1,
+	}
+}
+
+// BenchmarkTable1Config regenerates Table 1 (configuration rendering —
+// trivially fast; exists so every table has a bench target).
+func BenchmarkTable1Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if harness.Table1(benchParams()) == nil {
+			b.Fatal("no table")
+		}
+	}
+}
+
+// BenchmarkTable2Workloads regenerates Table 2.
+func BenchmarkTable2Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if harness.Table2Result() == nil {
+			b.Fatal("no table")
+		}
+	}
+}
+
+// BenchmarkFig3RefreshDegradation regenerates Figure 3 and reports the
+// 32 Gb / 64 ms all-bank degradation.
+func BenchmarkFig3RefreshDegradation(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig3(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4BankConfinement regenerates Figure 4.
+func BenchmarkFig4BankConfinement(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig4(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5CapacityFit regenerates Figure 5 (allocator capacity
+// study over the SPEC footprint table).
+func BenchmarkFig5CapacityFit(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig5(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10CoDesignIPC regenerates Figures 10+11 and reports the
+// co-design IPC gain over all-bank at 32 Gb as a custom metric.
+func BenchmarkFig10CoDesignIPC(b *testing.B) {
+	p := benchParams()
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		mix := workload.Table2()[5] // WL-6
+		ab := mustRun(b, p, config.RefreshAllBank, false, mix)
+		cd := mustRun(b, p, config.RefreshPerBankSeq, true, mix)
+		gain = cd.HarmonicIPC/ab.HarmonicIPC - 1
+	}
+	b.ReportMetric(gain*100, "gain%")
+}
+
+// BenchmarkFig11MemLatency reports the co-design's average memory
+// latency in memory cycles (the Figure 11 metric).
+func BenchmarkFig11MemLatency(b *testing.B) {
+	p := benchParams()
+	var lat float64
+	for i := 0; i < b.N; i++ {
+		cd := mustRun(b, p, config.RefreshPerBankSeq, true, workload.Table2()[5])
+		lat = cd.AvgMemLatencyMemCycles
+	}
+	b.ReportMetric(lat, "memcycles")
+}
+
+// BenchmarkFig12FGRModes regenerates Figure 12.
+func BenchmarkFig12FGRModes(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig12(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig13LowRetention regenerates Figure 13 (32 ms retention).
+func BenchmarkFig13LowRetention(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := harness.Fig10(p, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig14PriorWork regenerates Figure 14 (OOO per-bank, AR).
+func BenchmarkFig14PriorWork(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig14(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig15Sensitivity regenerates Figure 15 (cores x
+// consolidation x DIMM sweep).
+func BenchmarkFig15Sensitivity(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig15(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExt1Extensions regenerates the beyond-paper extension
+// comparison (Elastic, Pausing, RAIDR, subarray-level refresh).
+func BenchmarkExt1Extensions(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Extensions(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func mustRun(b *testing.B, p harness.Params, pol config.RefreshPolicy, codesign bool, mix workload.Mix) *core.Report {
+	b.Helper()
+	cfg := config.Default(config.Density32Gb, p.Scale)
+	cfg.Refresh.Policy = pol
+	if codesign {
+		cfg.OS.Alloc = config.AllocSoftPartition
+		cfg.OS.Scheduler = config.SchedCFS
+		cfg.OS.RefreshAware = true
+	}
+	sys, err := core.Build(cfg, mix, core.Options{FootprintScale: p.FootprintScale})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := sys.RunWindows(p.WarmupWindows, p.MeasureWindows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep
+}
+
+// --- design-choice ablations ---
+
+// ablationRun runs WL-6 at 32 Gb with a config mutation and returns
+// harmonic IPC.
+func ablationRun(b *testing.B, mutate func(*config.System)) float64 {
+	b.Helper()
+	p := benchParams()
+	cfg := config.Default(config.Density32Gb, p.Scale)
+	cfg.Refresh.Policy = config.RefreshPerBankSeq
+	cfg.OS.Alloc = config.AllocSoftPartition
+	cfg.OS.Scheduler = config.SchedCFS
+	cfg.OS.RefreshAware = true
+	mutate(&cfg)
+	sys, err := core.Build(cfg, workload.Table2()[5], core.Options{FootprintScale: p.FootprintScale})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := sys.RunWindows(p.WarmupWindows, p.MeasureWindows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep.HarmonicIPC
+}
+
+// BenchmarkAblationRowPolicy compares open- vs closed-page row policy
+// under the co-design (Table 1 chooses open-row).
+func BenchmarkAblationRowPolicy(b *testing.B) {
+	var open, closed float64
+	for i := 0; i < b.N; i++ {
+		open = ablationRun(b, func(*config.System) {})
+		closed = ablationRun(b, func(c *config.System) { c.Mem.ClosedPage = true })
+	}
+	b.ReportMetric(open/closed, "open/closed")
+}
+
+// BenchmarkAblationFRFCFS compares FR-FCFS against strict FCFS
+// transaction scheduling (Table 1 chooses FR-FCFS).
+func BenchmarkAblationFRFCFS(b *testing.B) {
+	var frfcfs, fcfs float64
+	for i := 0; i < b.N; i++ {
+		frfcfs = ablationRun(b, func(*config.System) {})
+		fcfs = ablationRun(b, func(c *config.System) { c.Mem.FCFS = true })
+	}
+	b.ReportMetric(frfcfs/fcfs, "frfcfs/fcfs")
+}
+
+// BenchmarkAblationSoftVsHard compares the paper's soft partitioning
+// against hard (exclusive-bank) partitioning under the co-design.
+func BenchmarkAblationSoftVsHard(b *testing.B) {
+	var soft, hard float64
+	for i := 0; i < b.N; i++ {
+		soft = ablationRun(b, func(*config.System) {})
+		hard = ablationRun(b, func(c *config.System) { c.OS.Alloc = config.AllocHardPartition })
+	}
+	b.ReportMetric(soft/hard, "soft/hard")
+}
+
+// BenchmarkAblationEta compares the η fairness threshold: η=1 disables
+// refresh awareness entirely (Section 5.4), so the default η should win.
+func BenchmarkAblationEta(b *testing.B) {
+	var etaDefault, etaOne float64
+	for i := 0; i < b.N; i++ {
+		etaDefault = ablationRun(b, func(*config.System) {})
+		etaOne = ablationRun(b, func(c *config.System) { c.OS.EtaThresh = 1 })
+	}
+	b.ReportMetric(etaDefault/etaOne, "eta4/eta1")
+}
+
+// BenchmarkAblationBanksPerTask sweeps the 6-banks-per-task sweet spot
+// against 4 (the paper's footnote 11).
+func BenchmarkAblationBanksPerTask(b *testing.B) {
+	var six, four float64
+	for i := 0; i < b.N; i++ {
+		six = ablationRun(b, func(*config.System) {})
+		four = ablationRun(b, func(c *config.System) { c.OS.BanksPerTask = 4 })
+	}
+	b.ReportMetric(six/four, "6banks/4banks")
+}
+
+// --- substrate microbenchmarks ---
+
+// BenchmarkEngineEventThroughput measures raw event-heap throughput.
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	e := sim.NewEngine()
+	n := 0
+	var pump func()
+	pump = func() {
+		n++
+		if n < b.N {
+			e.Schedule(1, pump)
+		}
+	}
+	e.Schedule(1, pump)
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkCacheAccess measures hierarchy probe throughput on a hot set.
+func BenchmarkCacheAccess(b *testing.B) {
+	cfg := config.Default(config.Density32Gb, 64)
+	h, err := cache.NewHierarchy(cfg.L1, cfg.L2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(uint64(i%512)*64, i%7 == 0)
+	}
+}
+
+// BenchmarkBuddyAllocFree measures allocator page churn.
+func BenchmarkBuddyAllocFree(b *testing.B) {
+	a, err := buddy.New(1 << 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, ok := a.AllocPage()
+		if !ok {
+			b.Fatal("exhausted")
+		}
+		a.FreePage(p)
+	}
+}
+
+// BenchmarkRBTreeInsertDelete measures scheduler-tree churn.
+func BenchmarkRBTreeInsertDelete(b *testing.B) {
+	tr := rbtree.New(func(x, y int) bool { return x < y })
+	r := sim.NewRand(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := tr.Insert(r.Intn(1 << 20))
+		tr.Delete(n)
+	}
+}
+
+// BenchmarkFullSystemCyclesPerSecond measures end-to-end simulation
+// speed: simulated CPU cycles per wall-second on the co-design config.
+func BenchmarkFullSystemCyclesPerSecond(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := refsched.CoDesign(refsched.DefaultConfig(refsched.Density32Gb, 512))
+		sys, err := refsched.NewSystemWithOptions(cfg, refsched.Table2()[5],
+			refsched.Options{FootprintScale: 0.02})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.RunWindows(0, 1); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(sys.Window()), "simcycles/op")
+	}
+}

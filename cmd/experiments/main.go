@@ -1,0 +1,137 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [flags] [fig3 fig4 fig5 fig10 fig12 fig13 fig14 fig15 table1 table2 | all]
+//
+// With no arguments it runs everything at the default fidelity
+// (scale 64, full footprints, all ten mixes). -quick switches to a fast
+// preset for smoke runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"refsched/internal/harness"
+)
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "fast preset: larger time scale, fewer mixes, scaled footprints")
+		scale   = flag.Uint64("scale", 0, "override time-scale factor (0 = preset)")
+		mixes   = flag.String("mixes", "", "comma-separated mix subset, e.g. WL-1,WL-6 (empty = preset)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		windows = flag.Int("windows", 0, "override measurement windows (0 = preset)")
+		verbose = flag.Bool("v", false, "print each run as it completes")
+	)
+	flag.Parse()
+
+	p := harness.DefaultParams()
+	if *quick {
+		p = harness.QuickParams()
+	}
+	if *scale != 0 {
+		p.Scale = *scale
+	}
+	if *mixes != "" {
+		p.Mixes = strings.Split(*mixes, ",")
+	}
+	if *windows != 0 {
+		p.MeasureWindows = *windows
+	}
+	p.Seed = *seed
+	p.Verbose = *verbose
+
+	targets := flag.Args()
+	if len(targets) == 0 {
+		targets = []string{"all"}
+	}
+
+	start := time.Now()
+	for _, t := range targets {
+		if err := runTarget(t, p); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("total: %s\n", time.Since(start).Round(time.Second))
+}
+
+func runTarget(target string, p harness.Params) error {
+	emit := func(rs ...*harness.Result) {
+		for _, r := range rs {
+			fmt.Println(r)
+		}
+	}
+	switch target {
+	case "all":
+		rs, err := harness.All(p)
+		emit(rs...)
+		return err
+	case "table1":
+		emit(harness.Table1(p))
+	case "table2":
+		emit(harness.Table2Result())
+	case "fig3":
+		r, err := harness.Fig3(p)
+		if err != nil {
+			return err
+		}
+		emit(r)
+	case "fig4":
+		r, err := harness.Fig4(p)
+		if err != nil {
+			return err
+		}
+		emit(r)
+	case "fig5":
+		r, err := harness.Fig5(p)
+		if err != nil {
+			return err
+		}
+		emit(r)
+	case "fig10", "fig11":
+		r10, r11, err := harness.Fig10(p, false)
+		if err != nil {
+			return err
+		}
+		emit(r10, r11)
+	case "fig12":
+		r, err := harness.Fig12(p)
+		if err != nil {
+			return err
+		}
+		emit(r)
+	case "fig13":
+		r13, r13lat, err := harness.Fig10(p, true)
+		if err != nil {
+			return err
+		}
+		emit(r13, r13lat)
+	case "fig14":
+		r, err := harness.Fig14(p)
+		if err != nil {
+			return err
+		}
+		emit(r)
+	case "fig15":
+		r, err := harness.Fig15(p)
+		if err != nil {
+			return err
+		}
+		emit(r)
+	case "ext1", "extensions":
+		r, err := harness.Extensions(p)
+		if err != nil {
+			return err
+		}
+		emit(r)
+	default:
+		return fmt.Errorf("unknown target %q", target)
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+// Command refsim runs a single simulation: one workload mix, one
+// density, one policy bundle, and prints the full report.
+//
+// Examples:
+//
+//	refsim -mix WL-6 -density 32 -policy allbank
+//	refsim -mix WL-6 -density 32 -codesign -v
+//	refsim -bench mcf,mcf,povray,povray -policy perbank -temp 95
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"refsched"
+)
+
+func main() {
+	var (
+		mixName  = flag.String("mix", "WL-1", "Table 2 mix name")
+		benchCSV = flag.String("bench", "", "explicit benchmark list (overrides -mix), e.g. mcf,mcf,povray")
+		density  = flag.Int("density", 32, "DRAM density in Gb (8/16/24/32)")
+		policy   = flag.String("policy", "allbank", "refresh policy: none|allbank|perbank|perbankseq|oooperbank|fgr2x|fgr4x|adaptive")
+		codesign = flag.Bool("codesign", false, "enable the full co-design (overrides -policy)")
+		hot      = flag.Bool("hot", false, ">85C operation: 32ms retention, 2ms timeslice")
+		scale    = flag.Uint64("scale", 64, "time-scale factor (1 = paper wall clock)")
+		warmup   = flag.Int("warmup", 1, "warmup retention windows")
+		measure  = flag.Int("measure", 2, "measured retention windows")
+		fpScale  = flag.Float64("footprint-scale", 1.0, "footprint multiplier")
+		seed     = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	mix, err := resolveMix(*mixName, *benchCSV)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := refsched.DefaultConfig(refsched.Density(*density), *scale)
+	if *hot {
+		cfg = refsched.HighTemp(cfg)
+	}
+	if *codesign {
+		cfg = refsched.CoDesign(cfg)
+	} else {
+		cfg = refsched.WithRefresh(cfg, refsched.RefreshPolicy(*policy))
+	}
+	cfg.Seed = *seed
+
+	sys, err := refsched.NewSystemWithOptions(cfg, mix, refsched.Options{FootprintScale: *fpScale})
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := sys.RunWindows(*warmup, *measure)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep)
+	fmt.Printf("reads=%d writes=%d refreshCmds=%d refreshStalledReads=%d (%.2f%%)\n",
+		rep.Reads, rep.Writes, rep.RefreshCommands, rep.RefreshStalledReads, rep.RefreshStalledFrac*100)
+	fmt.Printf("sched: picks=%d eligible=%d fallback=%d bestEffort=%d skipped=%d\n",
+		rep.SchedStats.Picks, rep.SchedStats.EligiblePicks, rep.SchedStats.FallbackPicks,
+		rep.SchedStats.BestEffortPicks, rep.SchedStats.SkippedCandidates)
+	fmt.Printf("alloc: cacheHits=%d buddyHits=%d stashed=%d fallbacks=%d\n",
+		rep.AllocStats.CacheHits, rep.AllocStats.BuddyHits, rep.AllocStats.Stashed, rep.AllocStats.Fallbacks)
+}
+
+func resolveMix(name, benchCSV string) (refsched.Mix, error) {
+	if benchCSV != "" {
+		mix := refsched.Mix{Name: "custom"}
+		for _, b := range strings.Split(benchCSV, ",") {
+			b = strings.TrimSpace(b)
+			if _, err := refsched.GetBenchmark(b); err != nil {
+				return mix, err
+			}
+			mix.Entries = append(mix.Entries, refsched.MixEntry{Bench: b, Count: 1})
+		}
+		return mix, nil
+	}
+	for _, m := range refsched.Table2() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return refsched.Mix{}, fmt.Errorf("unknown mix %q (want WL-1..WL-10)", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "refsim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Command wlgen inspects the synthetic workload models: it lists the
+// modeled benchmarks, and for a selected benchmark streams accesses
+// through a standalone cache hierarchy to report its intrinsic MPKI,
+// reuse profile, and footprint coverage — useful when calibrating new
+// benchmark models.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"refsched/internal/cache"
+	"refsched/internal/config"
+	"refsched/internal/sim"
+	"refsched/internal/workload"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "", "benchmark to profile (empty = list all)")
+		n      = flag.Uint64("n", 5_000_000, "instructions to simulate")
+		fp     = flag.Float64("footprint-scale", 0.05, "footprint multiplier for the dry run")
+		sample = flag.Int("sample", 0, "print the first N stream segments")
+	)
+	flag.Parse()
+
+	if *bench == "" {
+		fmt.Println("modeled benchmarks:")
+		for _, name := range workload.Names() {
+			b, _ := workload.Get(name)
+			fmt.Printf("  %-10s class=%s footprint=%dMB\n", b.Name, b.Class, b.Footprint/(1<<20))
+		}
+		fmt.Println("\nTable 2 mixes:")
+		for _, m := range workload.Table2() {
+			fmt.Printf("  %-6s (%s): %v\n", m.Name, m.Classes, m.Entries)
+		}
+		return
+	}
+
+	b, err := workload.Get(*bench)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wlgen: %v\n", err)
+		os.Exit(1)
+	}
+	cfg := config.Default(config.Density32Gb, 64)
+	hier, err := cache.NewHierarchy(cfg.L1, cfg.L2)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wlgen: %v\n", err)
+		os.Exit(1)
+	}
+	footprint := uint64(float64(b.Footprint) * *fp)
+	gen := b.New(sim.NewRand(1), footprint)
+
+	var instrs, accesses, writes, deps uint64
+	touched := map[uint64]bool{}
+	for instrs < *n {
+		in, acc := gen.Next()
+		if *sample > 0 {
+			fmt.Printf("  +%d instrs  %#x write=%v dep=%v\n", in, acc.VAddr, acc.Write, acc.Dependent)
+			*sample--
+		}
+		instrs += in
+		accesses++
+		if acc.Write {
+			writes++
+		}
+		if acc.Dependent {
+			deps++
+		}
+		touched[acc.VAddr>>12] = true
+		hier.Access(acc.VAddr, acc.Write)
+	}
+
+	l1 := hier.L1.Stats
+	l2 := hier.L2.Stats
+	fmt.Printf("%s: class=%s footprint=%dMB (scaled %dMB)\n", b.Name, b.Class, b.Footprint/(1<<20), footprint/(1<<20))
+	fmt.Printf("  instructions   %d\n", instrs)
+	fmt.Printf("  accesses       %d (%.1f per kilo-instr)\n", accesses, float64(accesses)/float64(instrs)*1000)
+	fmt.Printf("  writes         %.1f%%   dependent %.1f%%\n", f(writes, accesses)*100, f(deps, accesses)*100)
+	fmt.Printf("  L1 miss rate   %.2f%%\n", l1.MissRate()*100)
+	fmt.Printf("  L2 miss rate   %.2f%% (of L2 accesses)\n", l2.MissRate()*100)
+	fmt.Printf("  MPKI (LLC)     %.2f\n", float64(l2.Misses)/float64(instrs)*1000)
+	fmt.Printf("  pages touched  %d (%.1fMB)\n", len(touched), float64(len(touched))*4096/(1<<20))
+	fmt.Printf("  writebacks     %d\n", l2.Writebacks)
+}
+
+func f(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

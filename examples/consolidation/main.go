@@ -1,0 +1,89 @@
+// Consolidation: the paper's motivating scenario — a virtualized host
+// packing more and more tasks per core — swept across consolidation
+// ratios and operating temperatures. The example shows how refresh
+// overhead grows with consolidation and temperature, and how much of it
+// the co-design recovers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"refsched"
+)
+
+func main() {
+	base := refsched.Mix{
+		Name: "consolidated",
+		Entries: []refsched.MixEntry{
+			{Bench: "mcf", Count: 1},
+			{Bench: "stream", Count: 1},
+			{Bench: "GemsFDTD", Count: 1},
+			{Bench: "h264ref", Count: 1},
+		},
+	}
+
+	fmt.Println("scenario             tREFW  baseline-hIPC  codesign-hIPC  gain")
+	fmt.Println("-------------------  -----  -------------  -------------  -----")
+	for _, ratio := range []int{2, 4} {
+		for _, hot := range []bool{false, true} {
+			mix := tile(base, 2*ratio)
+			cfg := refsched.DefaultConfig(refsched.Density32Gb, 64)
+			if hot {
+				cfg = refsched.HighTemp(cfg)
+			}
+			// At 1:2 consolidation only 4 tasks exist, so each may only
+			// span 4 banks per rank (see the paper's Section 6.6).
+			if ratio == 2 {
+				cfg.OS.BanksPerTask = 4
+			}
+
+			baseRep := run(cfg, mix)
+			cdRep := run(refsched.CoDesign(cfg), mix)
+
+			temp := "64ms"
+			if hot {
+				temp = "32ms"
+			}
+			fmt.Printf("2 cores, 1:%d (%2d t)  %s  %13.4f  %13.4f  %+.1f%%\n",
+				ratio, 2*ratio, temp, baseRep.HarmonicIPC, cdRep.HarmonicIPC,
+				(cdRep.HarmonicIPC/baseRep.HarmonicIPC-1)*100)
+		}
+	}
+}
+
+// tile repeats the base mix entries until n tasks are reached.
+func tile(base refsched.Mix, n int) refsched.Mix {
+	out := refsched.Mix{Name: fmt.Sprintf("%s-%d", base.Name, n)}
+	var flat []string
+	for _, e := range base.Entries {
+		for i := 0; i < e.Count; i++ {
+			flat = append(flat, e.Bench)
+		}
+	}
+	counts := map[string]int{}
+	var order []string
+	for i := 0; i < n; i++ {
+		b := flat[i%len(flat)]
+		if counts[b] == 0 {
+			order = append(order, b)
+		}
+		counts[b]++
+	}
+	for _, b := range order {
+		out.Entries = append(out.Entries, refsched.MixEntry{Bench: b, Count: counts[b]})
+	}
+	return out
+}
+
+func run(cfg refsched.Config, mix refsched.Mix) *refsched.Report {
+	sys, err := refsched.NewSystem(cfg, mix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sys.RunWindows(1, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rep
+}

@@ -1,0 +1,78 @@
+// Policies: a survey of every refresh policy in the library on one
+// memory-intensive workload — the refresh-free ideal, rank-level
+// all-bank refresh, DDR4 fine-granularity modes, Adaptive Refresh,
+// LPDDR3 per-bank refresh, out-of-order per-bank refresh, and the
+// paper's co-design — showing where each lands between the baseline and
+// the ideal, plus the internal evidence (stalled reads, eligible picks)
+// for why.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"refsched"
+)
+
+func main() {
+	mix := refsched.Mix{
+		Name:    "WL-8",
+		Classes: "H+L",
+		Entries: []refsched.MixEntry{
+			{Bench: "bwaves", Count: 4},
+			{Bench: "h264ref", Count: 4},
+		},
+	}
+
+	type entry struct {
+		label    string
+		policy   refsched.RefreshPolicy
+		codesign bool
+	}
+	entries := []entry{
+		{"ideal (no refresh)", refsched.RefreshNone, false},
+		{"all-bank (DDR 1x)", refsched.RefreshAllBank, false},
+		{"DDR4 FGR 2x", refsched.RefreshFGR2x, false},
+		{"DDR4 FGR 4x", refsched.RefreshFGR4x, false},
+		{"Adaptive Refresh", refsched.RefreshAdaptive, false},
+		{"Elastic Refresh", refsched.RefreshElastic, false},
+		{"Refresh Pausing", refsched.RefreshPausing, false},
+		{"RAIDR (profiled)", refsched.RefreshRAIDR, false},
+		{"per-bank round-robin", refsched.RefreshPerBankRR, false},
+		{"OOO per-bank", refsched.RefreshOOOPerBank, false},
+		{"per-bank subarray", refsched.RefreshPerBankSA, false},
+		{"co-design", refsched.RefreshPerBankSeq, true},
+	}
+
+	var baseIPC float64
+	fmt.Println("policy                 hIPC     vs-allbank  mem-lat  stalled-by-refresh")
+	fmt.Println("---------------------  -------  ----------  -------  ------------------")
+	for _, e := range entries {
+		cfg := refsched.DefaultConfig(refsched.Density32Gb, 64)
+		if e.codesign {
+			cfg = refsched.CoDesign(cfg)
+		} else {
+			cfg = refsched.WithRefresh(cfg, e.policy)
+		}
+		if e.policy == refsched.RefreshPerBankSA {
+			cfg.Mem.SubarraysPerBank = 8
+		}
+		sys, err := refsched.NewSystem(cfg, mix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := sys.RunWindows(1, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if e.policy == refsched.RefreshAllBank {
+			baseIPC = rep.HarmonicIPC
+		}
+		vs := "-"
+		if baseIPC > 0 && e.policy != refsched.RefreshAllBank {
+			vs = fmt.Sprintf("%+.1f%%", (rep.HarmonicIPC/baseIPC-1)*100)
+		}
+		fmt.Printf("%-21s  %.4f  %10s  %7.0f  %17.2f%%\n",
+			e.label, rep.HarmonicIPC, vs, rep.AvgMemLatency, rep.RefreshStalledFrac*100)
+	}
+}

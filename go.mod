@@ -1,0 +1,3 @@
+module refsched
+
+go 1.22

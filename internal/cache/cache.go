@@ -1,0 +1,205 @@
+// Package cache implements the on-chip cache hierarchy: set-associative,
+// write-back, write-allocate caches with LRU replacement, composed into a
+// per-core two-level hierarchy (32 KB L1D + 1 MB private L2 in the
+// paper's configuration, Table 1).
+//
+// The model is state-accurate and trace-driven: an access updates tag
+// state immediately and reports the level that hit plus any dirty line
+// evicted to the next level. Timing (hit latencies, miss handling,
+// outstanding-miss limits) is the caller's concern — the CPU core model
+// charges latencies and the memory controller handles DRAM-bound misses.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"refsched/internal/config"
+)
+
+// Stats counts cache activity.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64 // dirty evictions handed to the next level
+}
+
+// MissRate returns misses/accesses.
+func (s *Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is one set-associative, write-back, write-allocate cache level.
+type Cache struct {
+	sets     uint64
+	ways     int
+	lineBits uint
+	setMask  uint64
+
+	// Line state, set-major: index = set*ways + way.
+	tags  []uint64
+	valid []bool
+	dirty []bool
+	// stamp implements LRU: the per-set access counter value at last
+	// touch; smallest stamp in a set is the LRU way.
+	stamp   []uint64
+	counter []uint64 // per-set monotonic counter
+
+	Stats Stats
+}
+
+// New builds an empty cache from a level config.
+func New(cfg config.CacheConfig) (*Cache, error) {
+	if cfg.LineBytes == 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		return nil, fmt.Errorf("cache: line size must be a power of two, got %d", cfg.LineBytes)
+	}
+	if cfg.Ways <= 0 {
+		return nil, fmt.Errorf("cache: ways must be positive")
+	}
+	sets := cfg.Sets()
+	if sets == 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache: set count must be a positive power of two, got %d", sets)
+	}
+	n := sets * uint64(cfg.Ways)
+	return &Cache{
+		sets:     sets,
+		ways:     cfg.Ways,
+		lineBits: uint(bits.TrailingZeros64(cfg.LineBytes)),
+		setMask:  sets - 1,
+		tags:     make([]uint64, n),
+		valid:    make([]bool, n),
+		dirty:    make([]bool, n),
+		stamp:    make([]uint64, n),
+		counter:  make([]uint64, sets),
+	}, nil
+}
+
+// LineAddr converts a byte address to its line-aligned address.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineBits << c.lineBits }
+
+// Victim describes a line displaced by a fill.
+type Victim struct {
+	Addr  uint64 // line-aligned byte address
+	Dirty bool
+}
+
+// Lookup probes the cache without filling. On hit it updates LRU state
+// and, for writes, marks the line dirty.
+func (c *Cache) Lookup(addr uint64, write bool) bool {
+	c.Stats.Accesses++
+	set := (addr >> c.lineBits) & c.setMask
+	tag := addr >> c.lineBits >> uint(bits.TrailingZeros64(c.sets))
+	base := set * uint64(c.ways)
+	for w := 0; w < c.ways; w++ {
+		i := base + uint64(w)
+		if c.valid[i] && c.tags[i] == tag {
+			c.Stats.Hits++
+			c.counter[set]++
+			c.stamp[i] = c.counter[set]
+			if write {
+				c.dirty[i] = true
+			}
+			return true
+		}
+	}
+	c.Stats.Misses++
+	return false
+}
+
+// Fill allocates a line for addr (which must have just missed), evicting
+// the LRU way if the set is full. The returned victim is valid when a
+// line was displaced. The new line is dirty when the triggering access
+// was a write.
+func (c *Cache) Fill(addr uint64, write bool) (Victim, bool) {
+	set := (addr >> c.lineBits) & c.setMask
+	setBits := uint(bits.TrailingZeros64(c.sets))
+	tag := addr >> c.lineBits >> setBits
+	base := set * uint64(c.ways)
+
+	victimWay := -1
+	var lruStamp uint64 = ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		i := base + uint64(w)
+		if !c.valid[i] {
+			victimWay = w
+			lruStamp = 0
+			break
+		}
+		if c.stamp[i] < lruStamp {
+			lruStamp = c.stamp[i]
+			victimWay = w
+		}
+	}
+	i := base + uint64(victimWay)
+
+	var v Victim
+	had := false
+	if c.valid[i] {
+		c.Stats.Evictions++
+		vaddr := (c.tags[i]<<setBits | set) << c.lineBits
+		v = Victim{Addr: vaddr, Dirty: c.dirty[i]}
+		had = true
+		if c.dirty[i] {
+			c.Stats.Writebacks++
+		}
+	}
+	c.valid[i] = true
+	c.tags[i] = tag
+	c.dirty[i] = write
+	c.counter[set]++
+	c.stamp[i] = c.counter[set]
+	return v, had
+}
+
+// Invalidate drops addr's line if present, returning whether it was
+// present and dirty (the caller must write it back).
+func (c *Cache) Invalidate(addr uint64) (wasDirty, present bool) {
+	set := (addr >> c.lineBits) & c.setMask
+	tag := addr >> c.lineBits >> uint(bits.TrailingZeros64(c.sets))
+	base := set * uint64(c.ways)
+	for w := 0; w < c.ways; w++ {
+		i := base + uint64(w)
+		if c.valid[i] && c.tags[i] == tag {
+			c.valid[i] = false
+			d := c.dirty[i]
+			c.dirty[i] = false
+			return d, true
+		}
+	}
+	return false, false
+}
+
+// MarkDirty sets the dirty bit on addr's line if present (used when an L1
+// dirty eviction lands in L2).
+func (c *Cache) MarkDirty(addr uint64) bool {
+	set := (addr >> c.lineBits) & c.setMask
+	tag := addr >> c.lineBits >> uint(bits.TrailingZeros64(c.sets))
+	base := set * uint64(c.ways)
+	for w := 0; w < c.ways; w++ {
+		i := base + uint64(w)
+		if c.valid[i] && c.tags[i] == tag {
+			c.dirty[i] = true
+			return true
+		}
+	}
+	return false
+}
+
+// Contains probes without touching LRU or stats (for tests/invariants).
+func (c *Cache) Contains(addr uint64) bool {
+	set := (addr >> c.lineBits) & c.setMask
+	tag := addr >> c.lineBits >> uint(bits.TrailingZeros64(c.sets))
+	base := set * uint64(c.ways)
+	for w := 0; w < c.ways; w++ {
+		i := base + uint64(w)
+		if c.valid[i] && c.tags[i] == tag {
+			return true
+		}
+	}
+	return false
+}

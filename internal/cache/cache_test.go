@@ -1,0 +1,252 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"refsched/internal/config"
+)
+
+func smallCfg(size uint64, ways int) config.CacheConfig {
+	return config.CacheConfig{SizeBytes: size, Ways: ways, LineBytes: 64, HitLatency: 2}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c, err := New(smallCfg(4096, 4)) // 16 sets
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Lookup(0x1000, false) {
+		t.Fatal("cold lookup hit")
+	}
+	c.Fill(0x1000, false)
+	if !c.Lookup(0x1000, false) {
+		t.Fatal("post-fill lookup missed")
+	}
+	if !c.Lookup(0x1020, false) {
+		t.Fatal("same-line offset missed")
+	}
+	if c.Stats.Accesses != 3 || c.Stats.Hits != 2 || c.Stats.Misses != 1 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, _ := New(smallCfg(1024, 2)) // 8 sets, 2 ways; set stride 512B
+	// Three lines mapping to set 0: 0x0, 0x200, 0x400.
+	c.Lookup(0x0, false)
+	c.Fill(0x0, false)
+	c.Lookup(0x200, false)
+	c.Fill(0x200, false)
+	// Touch 0x0 so 0x200 is LRU.
+	c.Lookup(0x0, false)
+	c.Lookup(0x400, false)
+	v, had := c.Fill(0x400, false)
+	if !had || v.Addr != 0x200 {
+		t.Fatalf("evicted %+v, want 0x200", v)
+	}
+	if !c.Contains(0x0) || c.Contains(0x200) || !c.Contains(0x400) {
+		t.Fatal("post-eviction contents wrong")
+	}
+}
+
+func TestCacheDirtyEviction(t *testing.T) {
+	c, _ := New(smallCfg(1024, 2))
+	c.Lookup(0x0, true)
+	c.Fill(0x0, true) // dirty fill
+	c.Fill(0x200, false)
+	v, had := c.Fill(0x400, false) // evicts 0x0 (LRU)
+	if !had || !v.Dirty || v.Addr != 0x0 {
+		t.Fatalf("dirty eviction = %+v had=%v", v, had)
+	}
+	if c.Stats.Writebacks != 1 {
+		t.Fatalf("writebacks = %d", c.Stats.Writebacks)
+	}
+}
+
+func TestCacheWriteHitSetsDirty(t *testing.T) {
+	c, _ := New(smallCfg(1024, 2))
+	c.Fill(0x0, false)
+	c.Lookup(0x0, true) // write hit dirties the line
+	c.Fill(0x200, false)
+	v, _ := c.Fill(0x400, false)
+	if !v.Dirty {
+		t.Fatal("write-hit line evicted clean")
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c, _ := New(smallCfg(1024, 2))
+	c.Fill(0x0, true)
+	dirty, present := c.Invalidate(0x0)
+	if !present || !dirty {
+		t.Fatalf("Invalidate = dirty=%v present=%v", dirty, present)
+	}
+	if _, present := c.Invalidate(0x0); present {
+		t.Fatal("double invalidate found the line")
+	}
+}
+
+func TestCacheMarkDirty(t *testing.T) {
+	c, _ := New(smallCfg(1024, 2))
+	c.Fill(0x0, false)
+	if !c.MarkDirty(0x0) {
+		t.Fatal("MarkDirty missed present line")
+	}
+	if c.MarkDirty(0x999000) {
+		t.Fatal("MarkDirty hit absent line")
+	}
+}
+
+func TestCacheRejectsBadShapes(t *testing.T) {
+	bad := []config.CacheConfig{
+		{SizeBytes: 1000, Ways: 2, LineBytes: 64}, // non-pow2 sets
+		{SizeBytes: 1024, Ways: 0, LineBytes: 64}, // no ways
+		{SizeBytes: 1024, Ways: 2, LineBytes: 60}, // non-pow2 line
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// refModel is a brute-force LRU cache used as the oracle for the
+// property test.
+type refModel struct {
+	sets  uint64
+	ways  int
+	lines map[uint64][]uint64 // set -> MRU-first line addrs
+	dirty map[uint64]bool
+}
+
+func newRefModel(sets uint64, ways int) *refModel {
+	return &refModel{sets: sets, ways: ways, lines: map[uint64][]uint64{}, dirty: map[uint64]bool{}}
+}
+
+func (m *refModel) set(addr uint64) uint64 { return (addr >> 6) % m.sets }
+
+func (m *refModel) access(addr uint64, write bool) (hit bool, victim uint64, evicted, victimDirty bool) {
+	addr = addr >> 6 << 6
+	s := m.set(addr)
+	for i, a := range m.lines[s] {
+		if a == addr {
+			m.lines[s] = append(append([]uint64{addr}, m.lines[s][:i]...), m.lines[s][i+1:]...)
+			if write {
+				m.dirty[addr] = true
+			}
+			return true, 0, false, false
+		}
+	}
+	// Miss: fill MRU, evict LRU if full.
+	if len(m.lines[s]) == m.ways {
+		last := m.lines[s][len(m.lines[s])-1]
+		victim, evicted, victimDirty = last, true, m.dirty[last]
+		delete(m.dirty, last)
+		m.lines[s] = m.lines[s][:len(m.lines[s])-1]
+	}
+	m.lines[s] = append([]uint64{addr}, m.lines[s]...)
+	m.dirty[addr] = write
+	return false, victim, evicted, victimDirty
+}
+
+// TestCacheMatchesReferenceModel drives random access sequences through
+// the cache and the brute-force oracle and demands identical hits,
+// victims and dirtiness.
+func TestCacheMatchesReferenceModel(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c, err := New(smallCfg(2048, 4)) // 8 sets
+		if err != nil {
+			return false
+		}
+		ref := newRefModel(8, 4)
+		for _, op := range ops {
+			addr := uint64(op&0x3FF) << 6 // 1024 distinct lines
+			write := op&0x8000 != 0
+			wantHit, wantVictim, wantEvicted, wantDirty := ref.access(addr, write)
+			gotHit := c.Lookup(addr, write)
+			if gotHit != wantHit {
+				return false
+			}
+			if !gotHit {
+				v, had := c.Fill(addr, write)
+				if had != wantEvicted {
+					return false
+				}
+				if had && (v.Addr != wantVictim || v.Dirty != wantDirty) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h, err := NewHierarchy(smallCfg(1024, 2), smallCfg(8192, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold: memory.
+	o := h.Access(0x5000, false)
+	if o.Level != LevelMemory || o.MissLineAddr != 0x5000 {
+		t.Fatalf("cold access = %+v", o)
+	}
+	// Now in both levels: L1 hit.
+	if o := h.Access(0x5000, false); o.Level != LevelL1 {
+		t.Fatalf("second access level = %v", o.Level)
+	}
+	// Evict from L1 (thrash its set) but not L2, then re-access: L2 hit.
+	h.Access(0x5000+1*512, false)
+	h.Access(0x5000+2*512, false)
+	h.Access(0x5000+3*512, false)
+	if o := h.Access(0x5000, false); o.Level != LevelL2 {
+		t.Fatalf("post-L1-eviction level = %v, want L2", o.Level)
+	}
+}
+
+func TestHierarchyWritebackPath(t *testing.T) {
+	h, _ := NewHierarchy(smallCfg(1024, 2), smallCfg(2048, 2)) // tiny L2: 16 sets... 2048/2/64=16 sets
+	// Dirty a line, then thrash the L2 set until it drains to DRAM.
+	h.Access(0x0, true)
+	var wbs []uint64
+	for i := uint64(1); i < 8; i++ {
+		o := h.Access(i*2048, false) // same L2 set as 0x0 (16 sets * 64B = 1024 stride? use 2048 to be safe)
+		wbs = append(wbs, o.Writebacks...)
+	}
+	found := false
+	for _, wb := range wbs {
+		if wb == 0x0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dirty line 0x0 never written back; wbs=%v", wbs)
+	}
+}
+
+func TestHierarchyInclusionBackInvalidate(t *testing.T) {
+	h, _ := NewHierarchy(smallCfg(1024, 2), smallCfg(2048, 2))
+	h.Access(0x0, false)
+	// Thrash L2 set 0 so 0x0 is evicted from L2.
+	for i := uint64(1); i < 8; i++ {
+		h.Access(i*1024, false)
+	}
+	// 0x0 must not be an L1 hit anymore (back-invalidated).
+	if h.L1.Contains(0x0) {
+		t.Fatal("L1 retains line evicted from L2 (inclusion violated)")
+	}
+}
+
+func TestHierarchyLLCMissesCount(t *testing.T) {
+	h, _ := NewHierarchy(smallCfg(1024, 2), smallCfg(8192, 4))
+	for i := uint64(0); i < 10; i++ {
+		h.Access(i*64, false)
+	}
+	if h.LLCMisses() != 10 {
+		t.Fatalf("LLCMisses = %d, want 10", h.LLCMisses())
+	}
+}

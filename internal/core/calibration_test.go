@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"refsched/internal/config"
+	"refsched/internal/workload"
+)
+
+// TestCalibrationClasses verifies each benchmark model lands in its
+// paper-assigned MPKI class when run at a realistic scale on an
+// uncontended system (one task, one core, no refresh).
+func TestCalibrationClasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs are slow")
+	}
+	for _, name := range workload.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			b, err := workload.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := config.Default(config.Density16Gb, 64) // 1 ms window, 62.5 µs quanta
+			cfg.Cores = 1
+			cfg.Refresh.Policy = config.RefreshNone
+			mix := workload.Mix{Name: "cal-" + name, Entries: []workload.MixEntry{{Bench: name, Count: 1}}}
+			// Keep footprints small enough for quick runs but far above
+			// the 1 MB LLC so miss behaviour is preserved.
+			fpScale := 1.0
+			if b.Footprint > 64*workload.MB {
+				fpScale = float64(64*workload.MB) / float64(b.Footprint)
+			}
+			sys, err := Build(cfg, mix, Options{FootprintScale: fpScale})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := sys.RunWindows(4, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mpki := rep.Tasks[0].MPKI
+			t.Logf("%s: MPKI=%.2f IPC=%.3f class=%s", name, mpki, rep.Tasks[0].IPC, b.Class)
+			switch b.Class {
+			case workload.High:
+				if mpki <= 10 {
+					t.Errorf("%s: MPKI %.2f, want > 10 (class H)", name, mpki)
+				}
+			case workload.Medium:
+				if mpki < 1 || mpki > 10 {
+					t.Errorf("%s: MPKI %.2f, want in [1,10] (class M)", name, mpki)
+				}
+			case workload.Low:
+				if mpki >= 1 {
+					t.Errorf("%s: MPKI %.2f, want < 1 (class L)", name, mpki)
+				}
+			}
+		})
+	}
+}

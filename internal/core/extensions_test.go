@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"refsched/internal/config"
+	"refsched/internal/workload"
+)
+
+// TestSubarrayRefreshReducesStalls: SALP-style subarray refresh should
+// cut the refresh-stalled read fraction well below plain per-bank
+// refresh on a memory-intensive mix.
+func TestSubarrayRefreshReducesStalls(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation comparison is slow")
+	}
+	mix := workload.Mix{Name: "sa", Entries: []workload.MixEntry{{Bench: "mcf", Count: 4}, {Bench: "bwaves", Count: 4}}}
+
+	pbCfg := config.Default(config.Density32Gb, 256)
+	pbCfg.Refresh.Policy = config.RefreshPerBankRR
+	pb, err := Build(pbCfg, mix, Options{FootprintScale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pbRep, err := pb.RunWindows(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	saCfg := config.Default(config.Density32Gb, 256)
+	saCfg.Refresh.Policy = config.RefreshPerBankSA
+	saCfg.Mem.SubarraysPerBank = 8
+	sa, err := Build(saCfg, mix, Options{FootprintScale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	saRep, err := sa.RunWindows(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("perbank stalled=%.4f hIPC=%.4f; salp stalled=%.4f hIPC=%.4f",
+		pbRep.RefreshStalledFrac, pbRep.HarmonicIPC, saRep.RefreshStalledFrac, saRep.HarmonicIPC)
+	if saRep.RefreshStalledFrac >= pbRep.RefreshStalledFrac {
+		t.Errorf("subarray refresh did not reduce stalls: %v vs %v",
+			saRep.RefreshStalledFrac, pbRep.RefreshStalledFrac)
+	}
+	if saRep.HarmonicIPC <= pbRep.HarmonicIPC {
+		t.Errorf("subarray refresh did not improve IPC: %v vs %v",
+			saRep.HarmonicIPC, pbRep.HarmonicIPC)
+	}
+}
+
+// TestRAIDRCutsRefreshEnergy: the retention-aware policy should slash
+// refresh's energy share relative to per-bank refresh.
+func TestRAIDRCutsRefreshEnergy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation comparison is slow")
+	}
+	mix := workload.Mix{Name: "re", Entries: []workload.MixEntry{{Bench: "stream", Count: 4}, {Bench: "povray", Count: 4}}}
+	run := func(pol config.RefreshPolicy) *Report {
+		cfg := config.Default(config.Density32Gb, 256)
+		cfg.Refresh.Policy = pol
+		sys, err := Build(cfg, mix, Options{FootprintScale: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sys.RunWindows(1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	pb := run(config.RefreshPerBankRR)
+	rd := run(config.RefreshRAIDR)
+	t.Logf("perbank refreshEnergy=%.3f raidr=%.3f", pb.RefreshEnergyFrac, rd.RefreshEnergyFrac)
+	if rd.RefreshEnergyFrac >= pb.RefreshEnergyFrac*0.6 {
+		t.Errorf("RAIDR refresh energy %.3f not well below per-bank %.3f",
+			rd.RefreshEnergyFrac, pb.RefreshEnergyFrac)
+	}
+	if rd.RefreshCommands >= pb.RefreshCommands/2 {
+		t.Errorf("RAIDR issued %d commands vs per-bank %d", rd.RefreshCommands, pb.RefreshCommands)
+	}
+}
+
+// TestPausingBeatsAllBank: refresh pausing should outperform blocking
+// all-bank refresh on a memory-intensive mix.
+func TestPausingBeatsAllBank(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation comparison is slow")
+	}
+	mix := workload.Mix{Name: "pa", Entries: []workload.MixEntry{{Bench: "mcf", Count: 8}}}
+	run := func(pol config.RefreshPolicy) *Report {
+		cfg := config.Default(config.Density32Gb, 256)
+		cfg.Refresh.Policy = pol
+		sys, err := Build(cfg, mix, Options{FootprintScale: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sys.RunWindows(1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	ab := run(config.RefreshAllBank)
+	pa := run(config.RefreshPausing)
+	t.Logf("allbank hIPC=%.4f pausing hIPC=%.4f", ab.HarmonicIPC, pa.HarmonicIPC)
+	if pa.HarmonicIPC <= ab.HarmonicIPC {
+		t.Errorf("pausing (%.4f) did not beat all-bank (%.4f)", pa.HarmonicIPC, ab.HarmonicIPC)
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"refsched/internal/config"
+)
+
+// TestCoDesignPreservesFairness: the refresh-aware schedule constrains
+// which tasks run in each slot, but the group rotation must still hand
+// every task its fair CPU share (the paper's Section 5.4 concern).
+func TestCoDesignPreservesFairness(t *testing.T) {
+	cfg := testConfig(config.Density8Gb, config.RefreshPerBankSeq)
+	cfg.OS.Alloc = config.AllocSoftPartition
+	cfg.OS.Scheduler = config.SchedCFS
+	cfg.OS.RefreshAware = true
+	sys, err := Build(cfg, testMix(), Options{FootprintScale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.RunWindows(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FairnessSpread == 0 {
+		t.Fatal("fairness spread not computed")
+	}
+	// Over whole windows the rotation is exact; allow quantum-boundary
+	// slop.
+	if rep.FairnessSpread > 1.35 {
+		t.Errorf("co-design fairness spread = %v, want near 1", rep.FairnessSpread)
+	}
+	// Every task got the same number of quanta (+-1).
+	var minQ, maxQ uint64 = 1 << 62, 0
+	for _, tr := range rep.Tasks {
+		if tr.Quanta < minQ {
+			minQ = tr.Quanta
+		}
+		if tr.Quanta > maxQ {
+			maxQ = tr.Quanta
+		}
+	}
+	if maxQ-minQ > 1 {
+		t.Errorf("quantum distribution %d..%d under co-design", minQ, maxQ)
+	}
+}
+
+// TestBaselineFairness: the round-robin baseline is fair by
+// construction.
+func TestBaselineFairness(t *testing.T) {
+	cfg := testConfig(config.Density8Gb, config.RefreshAllBank)
+	sys, err := Build(cfg, testMix(), Options{FootprintScale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.RunWindows(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quantum-overshoot noise is amplified at the tiny test scale where
+	// a quantum is only ~6 K cycles; allow generous slop.
+	if rep.FairnessSpread > 1.5 {
+		t.Errorf("baseline fairness spread = %v", rep.FairnessSpread)
+	}
+}

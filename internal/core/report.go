@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"refsched/internal/cpu"
+	"refsched/internal/dram"
+	"refsched/internal/kernel/buddy"
+	"refsched/internal/kernel/sched"
+	"refsched/internal/mc"
+	"refsched/internal/stats"
+)
+
+// TaskReport summarizes one task over the measurement interval.
+type TaskReport struct {
+	TaskID        int
+	Bench         string
+	IPC           float64
+	MPKI          float64
+	Instructions  uint64
+	CPUCycles     uint64
+	MemStall      uint64
+	LLCMisses     uint64
+	PageFaults    uint64
+	Quanta        uint64
+	FallbackPages uint64
+}
+
+// Report summarizes one measured run.
+type Report struct {
+	Mix     string
+	Policy  string
+	Density string
+
+	// HarmonicIPC is the paper's headline metric: the harmonic mean of
+	// per-task IPC over the measurement interval.
+	HarmonicIPC float64
+	// AvgMemLatency is the mean demand-read latency (queue entry to
+	// data) in CPU cycles.
+	AvgMemLatency float64
+	// AvgMemLatencyMemCycles converts to DDR3-1600 memory-bus cycles,
+	// the unit Figure 11 uses (4 CPU cycles per memory cycle at
+	// 3.2 GHz / DDR3-1600).
+	AvgMemLatencyMemCycles float64
+
+	Tasks []TaskReport
+
+	// Memory-system aggregates.
+	Reads               uint64
+	Writes              uint64
+	RowHitRate          float64
+	RefreshCommands     uint64
+	RefreshStalledReads uint64
+	RefreshStallCycles  uint64
+	// RefreshStalledFrac is the fraction of demand reads that waited on
+	// a refreshing bank — the mechanism the co-design eliminates.
+	RefreshStalledFrac float64
+
+	// Energy is the channel energy breakdown over the measurement
+	// interval (default DDR3-1600 model); RefreshEnergyFrac is
+	// refresh's share of it.
+	Energy            dram.EnergyBreakdown
+	RefreshEnergyFrac float64
+
+	// FairnessSpread is max/min CPU time across tasks over the
+	// measurement interval (1.0 = perfectly fair). The refresh-aware
+	// scheduler constrains which tasks may run in each slot, so this
+	// quantifies the Section 5.4 fairness concern η exists to bound.
+	FairnessSpread float64
+
+	// OS aggregates.
+	SchedStats     sched.Stats
+	AllocStats     buddy.PartitionStats
+	IdleQuanta     uint64
+	TotalQuanta    uint64
+	MeasuredCycles uint64
+}
+
+// snapshot captures counters for later differencing.
+type snapshot struct {
+	tasks []cpu.TaskStats
+	mcs   []mc.Stats
+	banks []dram.BankStats
+}
+
+func (s *System) snapshot() snapshot {
+	var snap snapshot
+	for _, t := range s.Kernel.Tasks() {
+		snap.tasks = append(snap.tasks, *t.Stats())
+	}
+	for _, c := range s.MCs {
+		snap.mcs = append(snap.mcs, c.Stats)
+	}
+	for _, ch := range s.Chans {
+		snap.banks = append(snap.banks, ch.Stats())
+	}
+	return snap
+}
+
+func (s *System) report(snap snapshot, measured uint64) *Report {
+	r := &Report{
+		Mix:            s.Mix.Name,
+		Policy:         string(s.Cfg.Refresh.Policy),
+		Density:        s.Cfg.Mem.Density.String(),
+		MeasuredCycles: measured,
+	}
+
+	var ipcs []float64
+	for i, t := range s.Kernel.Tasks() {
+		cur := *t.Stats()
+		d := cpu.TaskStats{
+			Instructions: cur.Instructions - snap.tasks[i].Instructions,
+			CPUCycles:    cur.CPUCycles - snap.tasks[i].CPUCycles,
+			MemStall:     cur.MemStall - snap.tasks[i].MemStall,
+			LLCMisses:    cur.LLCMisses - snap.tasks[i].LLCMisses,
+			PageFaults:   cur.PageFaults - snap.tasks[i].PageFaults,
+			Quanta:       cur.Quanta - snap.tasks[i].Quanta,
+		}
+		tr := TaskReport{
+			TaskID:        t.ID(),
+			Bench:         t.Bench.Name,
+			IPC:           d.IPC(),
+			MPKI:          d.MPKI(),
+			Instructions:  d.Instructions,
+			CPUCycles:     d.CPUCycles,
+			MemStall:      d.MemStall,
+			LLCMisses:     d.LLCMisses,
+			PageFaults:    d.PageFaults,
+			Quanta:        d.Quanta,
+			FallbackPages: t.FallbackPages,
+		}
+		r.Tasks = append(r.Tasks, tr)
+		if tr.IPC > 0 {
+			ipcs = append(ipcs, tr.IPC)
+		}
+	}
+	r.HarmonicIPC = stats.HarmonicMean(ipcs)
+
+	var minCPU, maxCPU uint64
+	for i, tr := range r.Tasks {
+		if i == 0 || tr.CPUCycles < minCPU {
+			minCPU = tr.CPUCycles
+		}
+		if tr.CPUCycles > maxCPU {
+			maxCPU = tr.CPUCycles
+		}
+	}
+	if minCPU > 0 {
+		r.FairnessSpread = float64(maxCPU) / float64(minCPU)
+	}
+
+	var reads, writes, latSum, refCmds, refStalled, refStallCyc uint64
+	for i, c := range s.MCs {
+		d := c.Stats
+		p := snap.mcs[i]
+		reads += d.Reads - p.Reads
+		writes += d.Writes - p.Writes
+		latSum += d.ReadLatencySum - p.ReadLatencySum
+		refCmds += d.RefreshCommands - p.RefreshCommands
+		refStalled += d.RefreshStalledReads - p.RefreshStalledReads
+		refStallCyc += d.RefreshStallCycles - p.RefreshStallCycles
+	}
+	r.Reads, r.Writes = reads, writes
+	r.RefreshCommands = refCmds
+	r.RefreshStalledReads = refStalled
+	r.RefreshStallCycles = refStallCyc
+	if reads > 0 {
+		r.AvgMemLatency = float64(latSum) / float64(reads)
+		r.AvgMemLatencyMemCycles = r.AvgMemLatency / 4
+		r.RefreshStalledFrac = float64(refStalled) / float64(reads)
+	}
+
+	var hits, misses, conflicts uint64
+	em := dram.DefaultEnergyModel()
+	for i, ch := range s.Chans {
+		d := ch.Stats()
+		p := snap.banks[i]
+		hits += d.RowHits - p.RowHits
+		misses += d.RowMisses - p.RowMisses
+		conflicts += d.RowConflicts - p.RowConflicts
+		delta := dram.BankStats{
+			Reads:             d.Reads - p.Reads,
+			Writes:            d.Writes - p.Writes,
+			RowMisses:         d.RowMisses - p.RowMisses,
+			RowConflicts:      d.RowConflicts - p.RowConflicts,
+			RowsRefreshed:     d.RowsRefreshed - p.RowsRefreshed,
+			RefreshBusyCycles: d.RefreshBusyCycles - p.RefreshBusyCycles,
+		}
+		e := em.Energy(delta, measured, s.Cfg.CPUFreqGHz)
+		r.Energy.ActivateMJ += e.ActivateMJ
+		r.Energy.ReadMJ += e.ReadMJ
+		r.Energy.WriteMJ += e.WriteMJ
+		r.Energy.RefreshMJ += e.RefreshMJ
+		r.Energy.BackgroundMJ += e.BackgroundMJ
+	}
+	r.RefreshEnergyFrac = r.Energy.RefreshFrac()
+	if tot := hits + misses + conflicts; tot > 0 {
+		r.RowHitRate = float64(hits) / float64(tot)
+	}
+
+	r.SchedStats = *s.Kernel.Picker().Stats()
+	r.AllocStats = s.Kernel.Allocator().Stats
+	r.IdleQuanta = s.Kernel.Stats.IdleQuanta
+	r.TotalQuanta = s.Kernel.Stats.Quanta
+	return r
+}
+
+// String renders a compact human-readable summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s %s: hIPC=%.4f memLat=%.1fcyc rowHit=%.2f refreshStalled=%.4f\n",
+		r.Mix, r.Density, r.Policy, r.HarmonicIPC, r.AvgMemLatency, r.RowHitRate, r.RefreshStalledFrac)
+	for _, t := range r.Tasks {
+		fmt.Fprintf(&b, "  task %2d %-9s IPC=%.4f MPKI=%6.2f quanta=%d\n",
+			t.TaskID, t.Bench, t.IPC, t.MPKI, t.Quanta)
+	}
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"refsched/internal/config"
+)
+
+func TestReportContents(t *testing.T) {
+	cfg := testConfig(config.Density8Gb, config.RefreshAllBank)
+	sys, err := Build(cfg, testMix(), Options{FootprintScale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.RunWindows(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Mix != "smoke" || rep.Density != "8Gb" || rep.Policy != "allbank" {
+		t.Fatalf("identity fields: %q %q %q", rep.Mix, rep.Density, rep.Policy)
+	}
+	if rep.Energy.Total() <= 0 {
+		t.Fatal("no energy accounted")
+	}
+	if rep.RefreshEnergyFrac <= 0 || rep.RefreshEnergyFrac >= 1 {
+		t.Fatalf("refresh energy fraction = %v", rep.RefreshEnergyFrac)
+	}
+	if rep.AvgMemLatencyMemCycles <= 0 ||
+		rep.AvgMemLatencyMemCycles*4 != rep.AvgMemLatency {
+		t.Fatalf("latency unit conversion: %v vs %v", rep.AvgMemLatencyMemCycles, rep.AvgMemLatency)
+	}
+	if rep.MeasuredCycles != sys.Window() {
+		t.Fatalf("measured cycles = %d, want one window %d", rep.MeasuredCycles, sys.Window())
+	}
+
+	s := rep.String()
+	for _, want := range []string{"smoke", "hIPC=", "mcf", "povray", "MPKI"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report string missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestReportTaskOrdering(t *testing.T) {
+	cfg := testConfig(config.Density8Gb, config.RefreshNone)
+	sys, err := Build(cfg, testMix(), Options{FootprintScale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.RunWindows(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range rep.Tasks {
+		if tr.TaskID != i {
+			t.Fatalf("task order: %d at position %d", tr.TaskID, i)
+		}
+	}
+	// Mix expansion order: first four mcf, then four povray.
+	for i := 0; i < 4; i++ {
+		if rep.Tasks[i].Bench != "mcf" || rep.Tasks[i+4].Bench != "povray" {
+			t.Fatalf("bench order wrong at %d: %s/%s", i, rep.Tasks[i].Bench, rep.Tasks[i+4].Bench)
+		}
+	}
+}

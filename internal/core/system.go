@@ -1,0 +1,223 @@
+// Package core assembles the full simulated machine — cores, caches,
+// memory controllers, DRAM, refresh policy, and the simulated OS — and
+// runs measured experiments over multi-programmed workloads. It is the
+// implementation behind the public refsched API.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"refsched/internal/cache"
+	"refsched/internal/config"
+	"refsched/internal/cpu"
+	"refsched/internal/dram"
+	"refsched/internal/kernel"
+	"refsched/internal/kernel/buddy"
+	"refsched/internal/mc"
+	"refsched/internal/refresh"
+	"refsched/internal/sim"
+	"refsched/internal/trace"
+	"refsched/internal/workload"
+)
+
+// Options tunes experiment construction beyond the machine config.
+type Options struct {
+	// FootprintScale multiplies every task's memory footprint
+	// (default 1.0). Tests use small scales to keep runs fast; the
+	// access pattern and MPKI class are footprint-scale invariant as
+	// long as footprints stay well above the LLC size.
+	FootprintScale float64
+	// Seed overrides cfg.Seed when non-zero.
+	Seed uint64
+}
+
+// System is one fully wired simulated machine executing a workload mix.
+type System struct {
+	Cfg    config.System
+	Eng    *sim.Engine
+	Mapper *dram.Mapper
+	Chans  []*dram.Channel
+	MCs    []*mc.Controller
+	Cores  []*cpu.Core
+	Kernel *kernel.Kernel
+	Mix    workload.Mix
+
+	timing  dram.Timing
+	started bool
+}
+
+// Build constructs a system for cfg running mix.
+func Build(cfg config.System, mix workload.Mix, opt Options) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.FootprintScale == 0 {
+		opt.FootprintScale = 1
+	}
+	if opt.Seed != 0 {
+		cfg.Seed = opt.Seed
+	}
+
+	s := &System{Cfg: cfg, Eng: sim.NewEngine(), Mix: mix}
+	s.timing = dram.TimingFrom(&s.Cfg)
+
+	var err error
+	s.Mapper, err = dram.NewMapper(cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+
+	// DRAM channels, refresh policies and controllers.
+	geo := refresh.Geometry{
+		Ranks:        cfg.Mem.Ranks(),
+		BanksPerRank: cfg.Mem.BanksPerRank,
+		Subarrays:    cfg.Mem.SubarraysPerBank,
+		Timing:       &s.timing,
+	}
+	var planner refresh.SlotPlanner
+	for ch := 0; ch < cfg.Mem.Channels; ch++ {
+		channel := dram.NewChannel(ch, cfg.Mem, &s.timing)
+		pol, err := newPolicy(&cfg, geo)
+		if err != nil {
+			return nil, err
+		}
+		if p, ok := pol.(refresh.SlotPlanner); ok && planner == nil {
+			planner = p
+		}
+		s.Chans = append(s.Chans, channel)
+		s.MCs = append(s.MCs, mc.New(s.Eng, channel, cfg.Mem, pol))
+	}
+
+	// Cores with private cache stacks.
+	for i := 0; i < cfg.Cores; i++ {
+		hier, err := cache.NewHierarchy(cfg.L1, cfg.L2)
+		if err != nil {
+			return nil, err
+		}
+		s.Cores = append(s.Cores, cpu.NewCore(i, s.Eng, (*memoryPath)(s), hier, cfg.BaseCPI, cfg.MLP, cfg.ROB))
+	}
+
+	// OS: buddy + partition allocator, VM, scheduler.
+	bud, err := buddy.New(s.Mapper.TotalPages())
+	if err != nil {
+		return nil, err
+	}
+	alloc := buddy.NewPartitionAllocator(bud, s.Mapper)
+	s.Kernel = kernel.New(s.Eng, &s.Cfg, alloc, s.Mapper, s.Cores, planner)
+
+	// Tasks from the mix, each with a private random stream.
+	rnd := sim.NewRand(cfg.Seed)
+	benches, err := mix.Tasks()
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range benches {
+		fp := uint64(float64(b.Footprint) * opt.FootprintScale)
+		if fp < 1<<16 {
+			fp = 1 << 16
+		}
+		gen := b.New(rnd.Fork(), fp)
+		s.Kernel.AddTask(b, gen)
+	}
+	s.Kernel.AssignMasks()
+	return s, nil
+}
+
+// newPolicy builds the per-channel refresh scheduler, threading
+// policy-specific parameters from the config.
+func newPolicy(cfg *config.System, geo refresh.Geometry) (refresh.Scheduler, error) {
+	switch cfg.Refresh.Policy {
+	case config.RefreshAdaptive:
+		epoch := cfg.Cycles(cfg.Refresh.AdaptiveEpochUS * 1000)
+		return refresh.NewAdaptive(geo, epoch, cfg.Refresh.AdaptiveHighUtil), nil
+	case config.RefreshRAIDR:
+		b := cfg.Refresh.RAIDRBins
+		return refresh.NewRAIDR(geo, refresh.RetentionBins{
+			OneWindow: b[0], TwoWindow: b[1], FourWindow: b[2],
+		}), nil
+	default:
+		return refresh.New(cfg.Refresh.Policy, geo)
+	}
+}
+
+// Window returns the scaled retention window in cycles — the natural
+// unit for warmup/measure durations.
+func (s *System) Window() uint64 { return s.Cfg.TREFW() }
+
+// AttachTrace records every demand memory request of the run to w in
+// the trace package's binary format. Call before Run; call the returned
+// recorder's Flush after Run. See internal/trace.
+func (s *System) AttachTrace(w io.Writer) (*trace.Recorder, error) {
+	if s.started {
+		return nil, fmt.Errorf("core: cannot attach a trace after Run")
+	}
+	rec := trace.NewRecorder(w)
+	for _, c := range s.MCs {
+		c.SetTracer(func(cycle, addr uint64, write bool, task int) {
+			rec.Record(trace.Record{Cycle: cycle, Addr: addr, Write: write, TaskID: int32(task)})
+		})
+	}
+	return rec, nil
+}
+
+// SetTaskMasks overrides every task's possible-banks vector (replacing
+// whatever AssignMasks chose). It must be called before Run. masks must
+// have one entry per task.
+func (s *System) SetTaskMasks(masks []buddy.BankMask) error {
+	if s.started {
+		return fmt.Errorf("core: cannot set masks after Run")
+	}
+	tasks := s.Kernel.Tasks()
+	if len(masks) != len(tasks) {
+		return fmt.Errorf("core: %d masks for %d tasks", len(masks), len(tasks))
+	}
+	for i, t := range tasks {
+		t.Ent.Mask = masks[i]
+	}
+	return nil
+}
+
+// Run executes the workload with warmup cycles of cache/queue warmup
+// followed by measure cycles of measured execution, and returns the
+// report. It may be called once per System.
+func (s *System) Run(warmup, measure uint64) (*Report, error) {
+	if s.started {
+		return nil, fmt.Errorf("core: system already run")
+	}
+	s.started = true
+	s.Kernel.Start()
+	s.Eng.RunUntil(sim.Time(warmup))
+	snap := s.snapshot()
+	s.Eng.RunUntil(sim.Time(warmup + measure))
+	return s.report(snap, measure), nil
+}
+
+// RunWindows runs warmupW retention windows of warmup and measureW
+// windows of measurement.
+func (s *System) RunWindows(warmupW, measureW int) (*Report, error) {
+	w := s.Window()
+	return s.Run(uint64(warmupW)*w, uint64(measureW)*w)
+}
+
+// memoryPath adapts System to cpu.Memory, routing by channel.
+type memoryPath System
+
+// SubmitRead implements cpu.Memory.
+func (m *memoryPath) SubmitRead(r *mc.Request) bool {
+	return m.MCs[r.Coord.Channel].SubmitRead(r)
+}
+
+// WhenReadSpace implements cpu.Memory.
+func (m *memoryPath) WhenReadSpace(ch int, fn func()) { m.MCs[ch].WhenReadSpace(fn) }
+
+// SubmitWrite implements cpu.Memory.
+func (m *memoryPath) SubmitWrite(r *mc.Request) bool {
+	return m.MCs[r.Coord.Channel].SubmitWrite(r)
+}
+
+// WhenWriteSpace implements cpu.Memory.
+func (m *memoryPath) WhenWriteSpace(ch int, fn func()) { m.MCs[ch].WhenWriteSpace(fn) }
+
+// Decode implements cpu.Memory.
+func (m *memoryPath) Decode(addr uint64) dram.Coord { return m.Mapper.Decode(addr) }

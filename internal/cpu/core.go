@@ -1,0 +1,366 @@
+// Package cpu models the processor cores. Each core is an
+// "out-of-order-lite" model: instructions retire at a base CPI, on-chip
+// cache hits are charged their hit latency, and LLC misses go to the
+// memory controller. The core may overlap up to MLP outstanding misses
+// and run ahead up to ROB instructions past the oldest incomplete miss;
+// dependent accesses (pointer chases) serialize behind all outstanding
+// misses. Time a core spends blocked behind misses is exactly where DRAM
+// refresh interference turns into lost IPC.
+//
+// For efficiency the core executes cache hits synchronously, ahead of the
+// global clock (its caches are private, so nothing global can perturb
+// them); it synchronizes with the discrete-event engine only to submit
+// LLC misses at their correct issue times and to block on completions.
+// Run-ahead is always clipped at the quantum boundary, so scheduling
+// decisions are never bypassed.
+package cpu
+
+import (
+	"refsched/internal/cache"
+	"refsched/internal/dram"
+	"refsched/internal/mc"
+	"refsched/internal/sim"
+	"refsched/internal/workload"
+)
+
+// TaskStats accumulates per-task performance counters.
+type TaskStats struct {
+	Instructions uint64
+	CPUCycles    uint64 // cycles the task held a core
+	MemStall     uint64 // cycles blocked waiting for DRAM
+	LLCMisses    uint64
+	PageFaults   uint64
+	Quanta       uint64
+}
+
+// IPC returns committed instructions per cycle-on-CPU.
+func (s *TaskStats) IPC() float64 {
+	if s.CPUCycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.CPUCycles)
+}
+
+// MPKI returns LLC misses per kilo-instruction.
+func (s *TaskStats) MPKI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.LLCMisses) / float64(s.Instructions) * 1000
+}
+
+// Task is the execution context a core runs: an instruction/access
+// stream, address translation, and a resume buffer so preemption can
+// happen mid-segment.
+type Task interface {
+	// ID returns the unique task id.
+	ID() int
+	// Next yields the next stream segment: instrs instructions of pure
+	// compute followed by one memory access. Streams are endless.
+	Next() (instrs uint64, acc workload.Access)
+	// PushBack returns a partially executed segment so the next
+	// quantum resumes exactly where this one stopped.
+	PushBack(instrs uint64, acc workload.Access)
+	// Translate maps a virtual address to physical, returning any
+	// page-fault penalty in cycles.
+	Translate(vaddr uint64) (paddr uint64, penalty uint64)
+	// Stats exposes the mutable counter block for this task.
+	Stats() *TaskStats
+}
+
+// Memory abstracts the request path to the memory controller(s).
+type Memory interface {
+	SubmitRead(r *mc.Request) bool
+	WhenReadSpace(channel int, fn func())
+	SubmitWrite(r *mc.Request) bool
+	WhenWriteSpace(channel int, fn func())
+	Decode(addr uint64) dram.Coord
+}
+
+// miss tracks one outstanding LLC miss.
+type miss struct {
+	completed    bool
+	store        bool // read-for-ownership: occupies an MSHR but not the ROB window
+	completeAt   sim.Time
+	instrAtIssue uint64
+}
+
+// Core is one processor core.
+type Core struct {
+	ID   int
+	eng  *sim.Engine
+	mem  Memory
+	Hier *cache.Hierarchy
+
+	baseCPIx1024 uint64 // fixed-point base CPI (cycles<<10 per instruction)
+	mlp          int
+	rob          uint64
+
+	task       Task
+	epoch      uint64 // invalidates stale callbacks across context switches
+	localTime  sim.Time
+	quantumEnd sim.Time
+	startTime  sim.Time
+	instrs     uint64 // retired since task start (ROB run-ahead bookkeeping)
+	cpiAccum   uint64 // fixed-point fractional-cycle accumulator
+
+	outstanding []*miss
+	waiting     bool
+	barrier     bool // waiting for ALL outstanding misses (dependent access)
+
+	onQuantumEnd func(c *Core, at sim.Time)
+
+	// Idle reports whether the core currently has no task.
+	Idle bool
+}
+
+// NewCore builds a core bound to an engine, memory path and cache stack.
+func NewCore(id int, eng *sim.Engine, mem Memory, hier *cache.Hierarchy, baseCPI float64, mlp, rob int) *Core {
+	if mlp < 1 {
+		mlp = 1
+	}
+	return &Core{
+		ID:           id,
+		eng:          eng,
+		mem:          mem,
+		Hier:         hier,
+		baseCPIx1024: uint64(baseCPI * 1024),
+		mlp:          mlp,
+		rob:          uint64(rob),
+		Idle:         true,
+	}
+}
+
+// Run starts task on the core until quantumEnd; onEnd is invoked at the
+// actual end time (which may overshoot the boundary if the core was
+// blocked on a miss when the quantum expired) so the scheduler can pick
+// the next task. Run must be called at the intended start time.
+func (c *Core) Run(task Task, quantumEnd sim.Time, onEnd func(c *Core, at sim.Time)) {
+	c.epoch++
+	c.task = task
+	c.quantumEnd = quantumEnd
+	c.onQuantumEnd = onEnd
+	c.localTime = c.eng.Now()
+	c.startTime = c.localTime
+	c.instrs = 0
+	c.cpiAccum = 0
+	c.outstanding = c.outstanding[:0]
+	c.waiting = false
+	c.barrier = false
+	c.Idle = false
+	task.Stats().Quanta++
+	c.loop()
+}
+
+// CurrentTask returns the running task (nil when idle).
+func (c *Core) CurrentTask() Task { return c.task }
+
+// loop executes stream segments until the quantum expires or the core
+// blocks. It runs within a single engine event.
+func (c *Core) loop() {
+	for !c.waiting {
+		if c.localTime >= c.quantumEnd {
+			c.finishQuantum()
+			return
+		}
+		instrs, acc := c.task.Next()
+		if !c.executeSegment(instrs, acc) {
+			return
+		}
+	}
+}
+
+// advanceInstrs charges instruction execution time in fixed point.
+func (c *Core) advanceInstrs(n uint64) {
+	c.cpiAccum += n * c.baseCPIx1024
+	c.localTime += sim.Time(c.cpiAccum >> 10)
+	c.cpiAccum &= 1023
+	c.instrs += n
+	c.task.Stats().Instructions += n
+}
+
+// executeSegment runs one (compute, access) segment; it returns false
+// when the core blocked or the quantum ended partway.
+func (c *Core) executeSegment(instrs uint64, acc workload.Access) bool {
+	// Clip the compute stretch at the quantum boundary so run-ahead
+	// never crosses a scheduling decision.
+	if c.baseCPIx1024 > 0 {
+		budget := (uint64(c.quantumEnd-c.localTime)<<10 - c.cpiAccum + c.baseCPIx1024 - 1) / c.baseCPIx1024
+		if instrs > budget {
+			c.advanceInstrs(budget)
+			c.task.PushBack(instrs-budget, acc)
+			c.finishQuantum()
+			return false
+		}
+	}
+	c.advanceInstrs(instrs)
+
+	// A dependent access consumes the value of an in-flight load: it
+	// cannot issue until every outstanding miss has drained.
+	if acc.Dependent {
+		c.drainCompleted()
+		if len(c.outstanding) > 0 {
+			c.task.PushBack(0, acc)
+			c.waiting = true
+			c.barrier = true
+			return false
+		}
+	}
+
+	c.performAccess(acc)
+	return !c.waiting
+}
+
+// performAccess issues one memory access against the cache hierarchy.
+func (c *Core) performAccess(acc workload.Access) {
+	paddr, penalty := c.task.Translate(acc.VAddr)
+	if penalty > 0 {
+		c.localTime += sim.Time(penalty)
+		c.task.Stats().PageFaults++
+	}
+	out := c.Hier.Access(paddr, acc.Write)
+	for _, wb := range out.Writebacks {
+		c.submitWriteback(wb)
+	}
+	if out.Level != cache.LevelMemory {
+		if out.Level == cache.LevelL2 {
+			c.localTime += sim.Time(out.HitCycles)
+		}
+		return
+	}
+
+	// LLC miss: goes off-chip. Stores allocate via a read-for-ownership
+	// and never block retirement directly; loads block via the
+	// dependence, MLP and ROB limits.
+	c.task.Stats().LLCMisses++
+	c.localTime += sim.Time(out.HitCycles)
+	m := &miss{instrAtIssue: c.instrs, store: acc.Write}
+	c.outstanding = append(c.outstanding, m)
+	c.submitRead(out.MissLineAddr, m)
+
+	if acc.Dependent {
+		c.waiting = true
+		c.barrier = true
+		return
+	}
+	c.drainCompleted()
+	if !c.limitsOK() {
+		c.waiting = true
+	}
+}
+
+// drainCompleted retires completed misses from the front in program
+// order, charging stall time when their completion is in the future.
+func (c *Core) drainCompleted() {
+	n := 0
+	for n < len(c.outstanding) && c.outstanding[n].completed {
+		m := c.outstanding[n]
+		if m.completeAt > c.localTime {
+			c.task.Stats().MemStall += uint64(m.completeAt - c.localTime)
+			c.localTime = m.completeAt
+		}
+		n++
+	}
+	if n > 0 {
+		c.outstanding = append(c.outstanding[:0], c.outstanding[n:]...)
+	}
+}
+
+// limitsOK reports whether MLP and ROB run-ahead limits permit issuing
+// more work. The ROB window is charged against the oldest incomplete
+// *load*: store misses drain through the store buffer and do not block
+// retirement.
+func (c *Core) limitsOK() bool {
+	if len(c.outstanding) >= c.mlp {
+		return false
+	}
+	for _, m := range c.outstanding {
+		if !m.store && !m.completed {
+			return c.instrs-m.instrAtIssue < c.rob
+		}
+	}
+	return true
+}
+
+// onMissComplete is the MC completion callback.
+func (c *Core) onMissComplete(m *miss, epoch uint64) {
+	m.completed = true
+	m.completeAt = c.eng.Now()
+	if epoch != c.epoch || !c.waiting {
+		return
+	}
+	c.drainCompleted()
+	if c.barrier {
+		if len(c.outstanding) > 0 {
+			return
+		}
+		c.barrier = false
+	} else if !c.limitsOK() {
+		return
+	}
+	c.waiting = false
+	c.loop()
+}
+
+// submitRead schedules the miss's DRAM read at the core's local time.
+func (c *Core) submitRead(lineAddr uint64, m *miss) {
+	epoch := c.epoch
+	req := &mc.Request{
+		Addr:   lineAddr,
+		Coord:  c.mem.Decode(lineAddr),
+		TaskID: c.task.ID(),
+	}
+	req.Done = func(*mc.Request) { c.onMissComplete(m, epoch) }
+	at := c.localTime
+	if now := c.eng.Now(); at < now {
+		at = now
+	}
+	c.eng.ScheduleAt(at, func() { c.trySubmitRead(req) })
+}
+
+func (c *Core) trySubmitRead(req *mc.Request) {
+	if !c.mem.SubmitRead(req) {
+		c.mem.WhenReadSpace(req.Coord.Channel, func() { c.trySubmitRead(req) })
+	}
+}
+
+// submitWriteback schedules a posted write at the core's local time.
+func (c *Core) submitWriteback(lineAddr uint64) {
+	req := &mc.Request{
+		Addr:   lineAddr,
+		Coord:  c.mem.Decode(lineAddr),
+		TaskID: c.task.ID(),
+	}
+	at := c.localTime
+	if now := c.eng.Now(); at < now {
+		at = now
+	}
+	c.eng.ScheduleAt(at, func() { c.trySubmitWrite(req) })
+}
+
+func (c *Core) trySubmitWrite(req *mc.Request) {
+	if !c.mem.SubmitWrite(req) {
+		c.mem.WhenWriteSpace(req.Coord.Channel, func() { c.trySubmitWrite(req) })
+	}
+}
+
+// finishQuantum accounts the quantum and hands control to the scheduler.
+func (c *Core) finishQuantum() {
+	end := c.localTime
+	c.task.Stats().CPUCycles += uint64(end - c.startTime)
+	c.task = nil
+	c.Idle = true
+	c.waiting = false
+	c.barrier = false
+	onEnd := c.onQuantumEnd
+	c.onQuantumEnd = nil
+	c.epoch++
+	if onEnd == nil {
+		return
+	}
+	if end <= c.eng.Now() {
+		onEnd(c, c.eng.Now())
+		return
+	}
+	c.eng.ScheduleAt(end, func() { onEnd(c, end) })
+}

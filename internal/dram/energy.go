@@ -1,0 +1,70 @@
+package dram
+
+// EnergyModel converts DRAM activity counters into energy, using
+// per-operation energies in picojoules plus a static background power.
+// Defaults are representative DDR3-1600 values (Micron power-model
+// magnitude); the point of the model is comparative — how much of the
+// energy budget refresh consumes under each policy — not absolute
+// wattage.
+type EnergyModel struct {
+	ActPJ   float64 // one activate+precharge pair
+	ReadPJ  float64 // one 64B read burst
+	WritePJ float64 // one 64B write burst
+	// RefreshMW is the power drawn per refresh-busy bank. Charging
+	// refresh by busy time (not rows) keeps energy comparisons valid
+	// under the time-scale knob, whose invariant is precisely the
+	// refresh duty cycle.
+	RefreshMW    float64
+	BackgroundMW float64 // static power for the whole channel
+}
+
+// DefaultEnergyModel returns representative DDR3-1600 constants.
+func DefaultEnergyModel() EnergyModel {
+	return EnergyModel{
+		ActPJ:        3000,
+		ReadPJ:       4000,
+		WritePJ:      4400,
+		RefreshMW:    200,
+		BackgroundMW: 150,
+	}
+}
+
+// EnergyBreakdown is channel energy by component, in millijoules.
+type EnergyBreakdown struct {
+	ActivateMJ   float64
+	ReadMJ       float64
+	WriteMJ      float64
+	RefreshMJ    float64
+	BackgroundMJ float64
+}
+
+// Total returns the sum of all components.
+func (e EnergyBreakdown) Total() float64 {
+	return e.ActivateMJ + e.ReadMJ + e.WriteMJ + e.RefreshMJ + e.BackgroundMJ
+}
+
+// RefreshFrac returns refresh's share of total energy.
+func (e EnergyBreakdown) RefreshFrac() float64 {
+	t := e.Total()
+	if t == 0 {
+		return 0
+	}
+	return e.RefreshMJ / t
+}
+
+// Energy computes the breakdown from aggregated bank stats over a run
+// of the given length in cycles at the given core frequency.
+func (m EnergyModel) Energy(st BankStats, cycles uint64, freqGHz float64) EnergyBreakdown {
+	const pjToMJ = 1e-9
+	activates := st.RowMisses + st.RowConflicts
+	secondsPerCycle := 1 / (freqGHz * 1e9)
+	seconds := float64(cycles) * secondsPerCycle
+	refreshSeconds := float64(st.RefreshBusyCycles) * secondsPerCycle
+	return EnergyBreakdown{
+		ActivateMJ:   float64(activates) * m.ActPJ * pjToMJ,
+		ReadMJ:       float64(st.Reads) * m.ReadPJ * pjToMJ,
+		WriteMJ:      float64(st.Writes) * m.WritePJ * pjToMJ,
+		RefreshMJ:    m.RefreshMW * refreshSeconds,
+		BackgroundMJ: m.BackgroundMW * seconds,
+	}
+}

@@ -1,0 +1,65 @@
+package dram
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEnergyBreakdownComponents(t *testing.T) {
+	m := DefaultEnergyModel()
+	st := BankStats{
+		Reads:             1000,
+		Writes:            500,
+		RowMisses:         300,
+		RowConflicts:      200,
+		RefreshBusyCycles: 3_200_000, // 1 ms at 3.2 GHz
+	}
+	e := m.Energy(st, 32_000_000, 3.2) // 10 ms run
+
+	wantAct := 500 * m.ActPJ * 1e-9
+	if math.Abs(e.ActivateMJ-wantAct) > 1e-12 {
+		t.Fatalf("activate energy = %v, want %v", e.ActivateMJ, wantAct)
+	}
+	wantRef := m.RefreshMW * 1e-3 // 1 ms of refresh power
+	if math.Abs(e.RefreshMJ-wantRef) > 1e-9 {
+		t.Fatalf("refresh energy = %v, want %v", e.RefreshMJ, wantRef)
+	}
+	wantBg := m.BackgroundMW * 10e-3
+	if math.Abs(e.BackgroundMJ-wantBg) > 1e-9 {
+		t.Fatalf("background energy = %v, want %v", e.BackgroundMJ, wantBg)
+	}
+	if e.Total() <= 0 || e.RefreshFrac() <= 0 || e.RefreshFrac() >= 1 {
+		t.Fatalf("total %v frac %v", e.Total(), e.RefreshFrac())
+	}
+}
+
+func TestEnergyZeroActivity(t *testing.T) {
+	m := DefaultEnergyModel()
+	e := m.Energy(BankStats{}, 0, 3.2)
+	if e.Total() != 0 || e.RefreshFrac() != 0 {
+		t.Fatal("zero activity should have zero energy")
+	}
+}
+
+// TestEnergyScaleInvariance: refresh's *share* of energy is invariant
+// under the time-scale knob because both refresh busy time and run
+// length scale together (duty cycle preserved).
+func TestEnergyScaleInvariance(t *testing.T) {
+	m := DefaultEnergyModel()
+	frac := func(scale uint64) float64 {
+		// A run of 10M/scale cycles with an 11.4% refresh duty and
+		// activity proportional to length.
+		cycles := 10_000_000 / scale
+		st := BankStats{
+			Reads:             cycles / 100,
+			Writes:            cycles / 300,
+			RowMisses:         cycles / 200,
+			RefreshBusyCycles: cycles * 114 / 1000,
+		}
+		return m.Energy(st, cycles, 3.2).RefreshFrac()
+	}
+	f1, f16 := frac(1), frac(16)
+	if math.Abs(f1-f16) > 0.001 {
+		t.Fatalf("refresh fraction drifts under scaling: %v vs %v", f1, f16)
+	}
+}

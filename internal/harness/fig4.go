@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"refsched/internal/config"
+	"refsched/internal/core"
+	"refsched/internal/kernel/buddy"
+)
+
+// Fig4 regenerates Figure 4: the BLP-vs-tRFC trade-off. Each task is
+// confined to k of the 8 banks per rank with refresh entirely
+// eliminated, and IPC is normalized to the task-uses-all-8-banks
+// configuration *with* all-bank refresh at each density. Values above
+// 1.0 mean that giving up bank-level parallelism is worth it if doing
+// so removes all refresh overhead.
+func Fig4(p Params) (*Result, error) {
+	r := &Result{
+		ID:    "fig4",
+		Title: "IPC of k-bank confinement without refresh, normalized to 8 banks with all-bank refresh",
+	}
+	r.Table.Header = []string{"density", "1-bank", "2-banks", "4-banks", "8-banks(noref)"}
+
+	ks := []int{1, 2, 4, 8}
+	for _, d := range config.Densities {
+		// One all-bank baseline per (density, mix), shared by every k.
+		bases := map[string]float64{}
+		for _, mix := range p.sweepMixes() {
+			base, err := p.runBundle(d, bundleAllBank, false, mix)
+			if err != nil {
+				return nil, err
+			}
+			bases[mix.Name] = base.HarmonicIPC
+		}
+		row := []string{d.String()}
+		for _, k := range ks {
+			var ratios []float64
+			for _, mix := range p.sweepMixes() {
+				cfg := p.configFor(d, bundleNone, false)
+				sys, err := core.Build(cfg, mix, core.Options{FootprintScale: p.FootprintScale})
+				if err != nil {
+					return nil, err
+				}
+				if err := sys.SetTaskMasks(confineMasks(cfg, len(sys.Kernel.Tasks()), k)); err != nil {
+					return nil, err
+				}
+				rep, err := sys.RunWindows(p.WarmupWindows, p.MeasureWindows)
+				if err != nil {
+					return nil, err
+				}
+				if base := bases[mix.Name]; base > 0 {
+					ratios = append(ratios, rep.HarmonicIPC/base)
+				}
+			}
+			row = append(row, pct(mean(ratios)))
+		}
+		r.Table.Rows = append(r.Table.Rows, row)
+	}
+	r.Notes = append(r.Notes,
+		"paper: >=4 banks per task beats the 8-bank all-bank-refresh baseline for 16/24/32Gb;",
+		"paper: at 8Gb (low tRFC) confinement is not worth it")
+	return r, nil
+}
+
+// confineMasks gives task i the k bank indices {i, i+1, ... i+k-1} mod
+// banksPerRank (in every rank): confinement with stagger, so tasks
+// spread over the banks rather than piling onto one.
+func confineMasks(cfg config.System, ntasks, k int) []buddy.BankMask {
+	nb := cfg.Mem.BanksPerRank
+	nr := cfg.Mem.Ranks()
+	masks := make([]buddy.BankMask, ntasks)
+	for i := range masks {
+		var m buddy.BankMask
+		for j := 0; j < k && j < nb; j++ {
+			b := (i + j) % nb
+			for rk := 0; rk < nr; rk++ {
+				m = m.Set(rk*nb + b)
+			}
+		}
+		masks[i] = m
+	}
+	return masks
+}

@@ -1,0 +1,179 @@
+// Package harness drives the paper's experiments: for every table and
+// figure in the evaluation it builds the right systems, runs them, and
+// prints the same rows/series the paper reports. Each figure has a
+// FigN function returning a Result; cmd/experiments is a thin CLI over
+// them and bench_test.go wraps them as testing.B benchmarks.
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"refsched/internal/config"
+	"refsched/internal/core"
+	"refsched/internal/stats"
+	"refsched/internal/workload"
+)
+
+// Params controls experiment fidelity versus runtime.
+type Params struct {
+	// Scale is the time-scale factor (see config): 1 is the paper's
+	// wall clock; 64 keeps duty cycles and alignment exact at ~1/64 of
+	// the events.
+	Scale uint64
+	// FootprintScale multiplies task footprints (1.0 = paper sizes;
+	// resident memory is demand-paged so full sizes are cheap).
+	FootprintScale float64
+	// WarmupWindows / MeasureWindows are run durations in retention
+	// windows.
+	WarmupWindows  int
+	MeasureWindows int
+	// Mixes restricts which Table 2 mixes run (nil = all ten).
+	Mixes []string
+	// SweepMixes restricts the heavily swept, averaged-only figures
+	// (3, 4, 15); nil means a representative 5-mix subset covering the
+	// H/M/L spectrum. Per-mix figures (10-14) always use Mixes.
+	SweepMixes []string
+	// Seed drives all random streams.
+	Seed uint64
+	// Verbose prints each run's one-line summary as it completes.
+	Verbose bool
+}
+
+// DefaultParams is the full-fidelity configuration used for
+// EXPERIMENTS.md numbers.
+func DefaultParams() Params {
+	return Params{Scale: 64, FootprintScale: 1, WarmupWindows: 1, MeasureWindows: 2, Seed: 1}
+}
+
+// QuickParams trades fidelity for speed (CI and benchmarks).
+func QuickParams() Params {
+	return Params{
+		Scale: 256, FootprintScale: 0.05, WarmupWindows: 1, MeasureWindows: 1,
+		Mixes: []string{"WL-1", "WL-5", "WL-6", "WL-8"}, Seed: 1,
+	}
+}
+
+// Result is one regenerated table or figure.
+type Result struct {
+	ID    string
+	Title string
+	Table stats.Table
+	Notes []string
+}
+
+// String renders the result.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	b.WriteString(r.Table.String())
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// mixes resolves the mix selection.
+func (p Params) mixes() []workload.Mix { return selectMixes(p.Mixes) }
+
+// sweepMixes resolves the subset used by the averaged sweep figures.
+func (p Params) sweepMixes() []workload.Mix {
+	if len(p.SweepMixes) > 0 {
+		return selectMixes(p.SweepMixes)
+	}
+	if len(p.Mixes) > 0 {
+		return selectMixes(p.Mixes)
+	}
+	// One representative per intensity class plus the two headline
+	// H+L mixes — enough to reproduce the averages the paper plots.
+	return selectMixes([]string{"WL-1", "WL-3", "WL-5", "WL-6", "WL-8"})
+}
+
+func selectMixes(names []string) []workload.Mix {
+	all := workload.Table2()
+	if len(names) == 0 {
+		return all
+	}
+	want := map[string]bool{}
+	for _, m := range names {
+		want[m] = true
+	}
+	var out []workload.Mix
+	for _, m := range all {
+		if want[m.Name] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// bundle names a (refresh policy, OS policy) combination.
+type bundle struct {
+	name    string
+	refresh config.RefreshPolicy
+	code    bool // enable the full co-design OS side
+}
+
+var (
+	bundleNone     = bundle{"norefresh", config.RefreshNone, false}
+	bundleAllBank  = bundle{"allbank", config.RefreshAllBank, false}
+	bundlePerBank  = bundle{"perbank", config.RefreshPerBankRR, false}
+	bundleOOO      = bundle{"oooperbank", config.RefreshOOOPerBank, false}
+	bundleFGR2x    = bundle{"fgr2x", config.RefreshFGR2x, false}
+	bundleFGR4x    = bundle{"fgr4x", config.RefreshFGR4x, false}
+	bundleAdaptive = bundle{"adaptive", config.RefreshAdaptive, false}
+	bundleCoDesign = bundle{"codesign", config.RefreshPerBankSeq, true}
+)
+
+// configFor builds the machine config for a bundle.
+func (p Params) configFor(d config.Density, b bundle, highTemp bool) config.System {
+	cfg := config.Default(d, p.Scale)
+	if highTemp {
+		cfg = config.HighTemp(cfg)
+	}
+	cfg.Refresh.Policy = b.refresh
+	if b.code {
+		cfg.OS.Alloc = config.AllocSoftPartition
+		cfg.OS.Scheduler = config.SchedCFS
+		cfg.OS.RefreshAware = true
+	}
+	cfg.Seed = p.Seed
+	return cfg
+}
+
+// run executes one configuration over one mix.
+func (p Params) run(cfg config.System, mix workload.Mix) (*core.Report, error) {
+	sys, err := core.Build(cfg, mix, core.Options{FootprintScale: p.FootprintScale})
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s/%s: %w", mix.Name, cfg.Mem.Density, cfg.Refresh.Policy, err)
+	}
+	rep, err := sys.RunWindows(p.WarmupWindows, p.MeasureWindows)
+	if err != nil {
+		return nil, err
+	}
+	if p.Verbose {
+		fmt.Printf("  ran %-6s %-5s %-10s hIPC=%.4f lat=%.0f stalled=%.4f\n",
+			mix.Name, cfg.Mem.Density, cfg.Refresh.Policy, rep.HarmonicIPC, rep.AvgMemLatency, rep.RefreshStalledFrac)
+	}
+	return rep, nil
+}
+
+// runBundle is run with a bundle shorthand.
+func (p Params) runBundle(d config.Density, b bundle, highTemp bool, mix workload.Mix) (*core.Report, error) {
+	return p.run(p.configFor(d, b, highTemp), mix)
+}
+
+// pct formats a ratio as a percentage string.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// mean returns the arithmetic mean of vs (0 when empty).
+func mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}

@@ -1,0 +1,185 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"refsched/internal/config"
+)
+
+// tinyParams keeps harness tests fast: one small mix, aggressive scale.
+func tinyParams() Params {
+	return Params{
+		Scale:          4096,
+		FootprintScale: 0.01,
+		WarmupWindows:  1,
+		MeasureWindows: 1,
+		Mixes:          []string{"WL-6"},
+		Seed:           1,
+	}
+}
+
+func TestParamsMixSelection(t *testing.T) {
+	p := tinyParams()
+	ms := p.mixes()
+	if len(ms) != 1 || ms[0].Name != "WL-6" {
+		t.Fatalf("mixes = %v", ms)
+	}
+	p.Mixes = nil
+	if len(p.mixes()) != 10 {
+		t.Fatal("default should be all ten mixes")
+	}
+}
+
+func TestConfigForBundles(t *testing.T) {
+	p := tinyParams()
+	cfg := p.configFor(config.Density32Gb, bundleCoDesign, false)
+	if cfg.Refresh.Policy != config.RefreshPerBankSeq || !cfg.OS.RefreshAware {
+		t.Fatalf("codesign bundle config = %+v", cfg.Refresh.Policy)
+	}
+	hot := p.configFor(config.Density32Gb, bundleAllBank, true)
+	if hot.Refresh.TREFWms != 32 {
+		t.Fatal("highTemp not applied")
+	}
+}
+
+func TestTable1Renders(t *testing.T) {
+	r := Table1(tinyParams())
+	s := r.String()
+	for _, want := range []string{"FR-FCFS", "32Gb", "tREFIab", "timeslice"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table1 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable2Renders(t *testing.T) {
+	r := Table2Result()
+	s := r.String()
+	for _, want := range []string{"WL-1", "WL-10", "mcf(8)", "H+L"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table2 missing %q", want)
+		}
+	}
+}
+
+func TestFig5Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocator sweeps are slow")
+	}
+	r, err := Fig5(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Table.Rows) < 30 {
+		t.Fatalf("fig5 rows = %d", len(r.Table.Rows))
+	}
+	// The average row must be monotonically nondecreasing with density.
+	avg := r.Table.Rows[len(r.Table.Rows)-1]
+	if avg[0] != "average" {
+		t.Fatalf("last row = %v", avg)
+	}
+}
+
+func TestFig3Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweeps are slow")
+	}
+	r, err := Fig3(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 densities x 2 temps.
+	if len(r.Table.Rows) != 8 {
+		t.Fatalf("fig3 rows = %d", len(r.Table.Rows))
+	}
+}
+
+func TestFig10Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweeps are slow")
+	}
+	r10, r11, err := Fig10(tinyParams(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r10.Table.Rows) != 2 { // WL-6 + average
+		t.Fatalf("fig10 rows = %d", len(r10.Table.Rows))
+	}
+	if len(r11.Table.Rows) != 1 {
+		t.Fatalf("fig11 rows = %d", len(r11.Table.Rows))
+	}
+}
+
+func TestFig14Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweeps are slow")
+	}
+	r, err := Fig14(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Table.Header) != 5 {
+		t.Fatalf("fig14 header = %v", r.Table.Header)
+	}
+}
+
+func TestExtensionsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweeps are slow")
+	}
+	r, err := Extensions(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Table.Rows) != 7 {
+		t.Fatalf("ext1 rows = %d, want 7 policies", len(r.Table.Rows))
+	}
+	if r.Table.Rows[0][1] != "baseline" {
+		t.Fatalf("first row should be the all-bank baseline: %v", r.Table.Rows[0])
+	}
+}
+
+func TestSweepMixesDefaults(t *testing.T) {
+	var p Params
+	ms := p.sweepMixes()
+	if len(ms) != 5 {
+		t.Fatalf("default sweep subset = %d mixes", len(ms))
+	}
+	p.SweepMixes = []string{"WL-2"}
+	if got := p.sweepMixes(); len(got) != 1 || got[0].Name != "WL-2" {
+		t.Fatalf("explicit sweep selection = %v", got)
+	}
+	p2 := Params{Mixes: []string{"WL-9"}}
+	if got := p2.sweepMixes(); len(got) != 1 || got[0].Name != "WL-9" {
+		t.Fatal("sweep should fall back to Mixes")
+	}
+}
+
+func TestConfineMasks(t *testing.T) {
+	cfg := config.Default(config.Density8Gb, 64)
+	masks := confineMasks(cfg, 8, 2)
+	for i, m := range masks {
+		if m.Count() != 4 { // 2 bank indices x 2 ranks
+			t.Fatalf("task %d mask count = %d", i, m.Count())
+		}
+	}
+	// Staggered: masks differ across tasks.
+	if masks[0] == masks[1] {
+		t.Fatal("confinement not staggered")
+	}
+	// k = banksPerRank keeps everything allowed.
+	full := confineMasks(cfg, 2, 8)
+	if full[0].Count() != 16 {
+		t.Fatalf("full confinement count = %d", full[0].Count())
+	}
+}
+
+func TestPctAndMean(t *testing.T) {
+	if pct(0.123) != "12.3%" {
+		t.Fatalf("pct = %q", pct(0.123))
+	}
+	if mean(nil) != 0 || mean([]float64{1, 3}) != 2 {
+		t.Fatal("mean broken")
+	}
+}

@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"fmt"
+
+	"refsched/internal/config"
+	"refsched/internal/workload"
+)
+
+// Table1 renders the evaluated configuration (the paper's Table 1) as
+// derived from an actual config instance, so the printed values are the
+// ones the simulator really uses.
+func Table1(p Params) *Result {
+	cfg := config.Default(config.Density32Gb, p.Scale)
+	r := &Result{ID: "table1", Title: "Evaluated configuration"}
+	r.Table.Header = []string{"parameter", "value"}
+	add := func(k, v string) { r.Table.AddRow(k, v) }
+
+	add("cores", fmt.Sprintf("%d @ %.1fGHz, OoO, %d-wide, ROB %d, MLP %d",
+		cfg.Cores, cfg.CPUFreqGHz, cfg.IssueWidth, cfg.ROB, cfg.MLP))
+	add("L1D", fmt.Sprintf("%dKB %d-way, %d-cycle hit", cfg.L1.SizeBytes/1024, cfg.L1.Ways, cfg.L1.HitLatency))
+	add("L2", fmt.Sprintf("%dMB per core %d-way, %d-cycle hit, %dB lines",
+		cfg.L2.SizeBytes/(1024*1024), cfg.L2.Ways, cfg.L2.HitLatency, cfg.L2.LineBytes))
+	add("memory", fmt.Sprintf("DDR3-1600, %d channel, %d DIMM/ch, %d ranks/DIMM, %d banks/rank, FR-FCFS, open row",
+		cfg.Mem.Channels, cfg.Mem.DIMMsPerChannel, cfg.Mem.RanksPerDIMM, cfg.Mem.BanksPerRank))
+	add("queues", fmt.Sprintf("read/write %d/%d, write watermarks %d/%d",
+		cfg.Mem.ReadQueue, cfg.Mem.WriteQueue, cfg.Mem.WriteLowWater, cfg.Mem.WriteHighWater))
+	add("row", fmt.Sprintf("%dKB DRAM row", cfg.Mem.RowBytes/1024))
+	for _, d := range config.Densities {
+		c := config.Default(d, p.Scale)
+		add(fmt.Sprintf("refresh %s", d),
+			fmt.Sprintf("tRFCab=%dcyc tRFCpb=%dcyc rows/bank=%dK", c.TRFCab(), c.TRFCpb(), c.Mem.RowsPerBank()/1024))
+	}
+	add("tREFIab", fmt.Sprintf("%d cycles (7.8us)", cfg.TREFIab()))
+	add("tREFW", fmt.Sprintf("%d cycles (%.0fms / scale %d)", cfg.TREFW(), cfg.Refresh.TREFWms, cfg.Scale))
+	add("timeslice", fmt.Sprintf("%d cycles (%.0fms / scale %d)", cfg.Timeslice(), cfg.OS.TimesliceMS, cfg.Scale))
+	add("OS scheduler", "RR baseline / CFS co-design")
+	add("allocator", "buddy baseline / soft-partitioning co-design")
+	return r
+}
+
+// Table2Result renders the workload mixes (the paper's Table 2),
+// annotated with the modeled per-benchmark footprints.
+func Table2Result() *Result {
+	r := &Result{ID: "table2", Title: "Workload mixes (dual-core, 1:4 consolidation)"}
+	r.Table.Header = []string{"mix", "benchmarks", "MPKI class"}
+	for _, m := range workload.Table2() {
+		var parts string
+		for i, e := range m.Entries {
+			if i > 0 {
+				parts += ", "
+			}
+			parts += fmt.Sprintf("%s(%d)", e.Bench, e.Count)
+		}
+		r.Table.AddRow(m.Name, parts, m.Classes)
+	}
+	for _, name := range workload.Names() {
+		b, _ := workload.Get(name)
+		r.Notes = append(r.Notes, fmt.Sprintf("%s: class %s, footprint %s", b.Name, b.Class, byteSize(b.Footprint)))
+	}
+	return r
+}
+
+// All runs every experiment and returns the results in paper order.
+func All(p Params) ([]*Result, error) {
+	var out []*Result
+	out = append(out, Table1(p), Table2Result())
+
+	f3, err := Fig3(p)
+	if err != nil {
+		return out, err
+	}
+	out = append(out, f3)
+
+	f4, err := Fig4(p)
+	if err != nil {
+		return out, err
+	}
+	out = append(out, f4)
+
+	f5, err := Fig5(p)
+	if err != nil {
+		return out, err
+	}
+	out = append(out, f5)
+
+	f10, f11, err := Fig10(p, false)
+	if err != nil {
+		return out, err
+	}
+	out = append(out, f10, f11)
+
+	f12, err := Fig12(p)
+	if err != nil {
+		return out, err
+	}
+	out = append(out, f12)
+
+	f13, f13lat, err := Fig10(p, true)
+	if err != nil {
+		return out, err
+	}
+	out = append(out, f13, f13lat)
+
+	f14, err := Fig14(p)
+	if err != nil {
+		return out, err
+	}
+	out = append(out, f14)
+
+	f15, err := Fig15(p)
+	if err != nil {
+		return out, err
+	}
+	out = append(out, f15)
+
+	ext, err := Extensions(p)
+	if err != nil {
+		return out, err
+	}
+	out = append(out, ext)
+	return out, nil
+}

@@ -1,0 +1,215 @@
+// Package buddy implements a Linux-style binary buddy page-frame
+// allocator: per-order free lists with block splitting on allocation and
+// buddy coalescing on free. It is the substrate Algorithm 2 (the paper's
+// bank-aware partitioning allocator) is built on.
+package buddy
+
+import "fmt"
+
+// MaxOrder is the largest block order (2^MaxOrder pages), matching
+// Linux's MAX_ORDER-1 = 10 → 4 MB blocks with 4 KB pages.
+const MaxOrder = 10
+
+// Page states.
+const (
+	stateFree  uint8 = iota // head of a free block on a free list
+	stateAlloc              // head of an allocated block
+	stateTail               // interior page of some block
+)
+
+const nilIdx = int32(-1)
+
+// Allocator is a buddy allocator over page frames [0, totalPages).
+// Frames beyond the largest power-of-two prefix are seeded as smaller
+// blocks, so arbitrary totals are supported.
+type Allocator struct {
+	totalPages uint64
+	nrFree     uint64
+
+	order []uint8
+	state []uint8
+	// Intrusive doubly-linked free lists, one per order; next/prev are
+	// indexed by pfn and only meaningful for free block heads.
+	next  []int32
+	prev  []int32
+	heads [MaxOrder + 1]int32
+
+	// Allocs and Frees count operations (for invariant tests).
+	Allocs uint64
+	Frees  uint64
+}
+
+// New builds an allocator with every frame free.
+func New(totalPages uint64) (*Allocator, error) {
+	if totalPages == 0 {
+		return nil, fmt.Errorf("buddy: totalPages must be positive")
+	}
+	if totalPages > 1<<31-1 {
+		return nil, fmt.Errorf("buddy: totalPages %d exceeds index space", totalPages)
+	}
+	a := &Allocator{
+		totalPages: totalPages,
+		order:      make([]uint8, totalPages),
+		state:      make([]uint8, totalPages),
+		next:       make([]int32, totalPages),
+		prev:       make([]int32, totalPages),
+	}
+	for i := range a.heads {
+		a.heads[i] = nilIdx
+	}
+	for i := range a.state {
+		a.state[i] = stateTail
+	}
+	// Seed free lists greedily with the largest aligned blocks.
+	var pfn uint64
+	for pfn < totalPages {
+		o := MaxOrder
+		for o > 0 && (pfn&(1<<uint(o)-1) != 0 || pfn+1<<uint(o) > totalPages) {
+			o--
+		}
+		a.seedFree(pfn, o)
+		pfn += 1 << uint(o)
+	}
+	return a, nil
+}
+
+// TotalPages returns the managed frame count.
+func (a *Allocator) TotalPages() uint64 { return a.totalPages }
+
+// NrFree returns the number of free page frames.
+func (a *Allocator) NrFree() uint64 { return a.nrFree }
+
+func (a *Allocator) seedFree(pfn uint64, order int) {
+	a.state[pfn] = stateFree
+	a.order[pfn] = uint8(order)
+	a.pushFree(pfn, order)
+	a.nrFree += 1 << uint(order)
+}
+
+func (a *Allocator) pushFree(pfn uint64, order int) {
+	h := a.heads[order]
+	a.next[pfn] = h
+	a.prev[pfn] = nilIdx
+	if h != nilIdx {
+		a.prev[h] = int32(pfn)
+	}
+	a.heads[order] = int32(pfn)
+}
+
+func (a *Allocator) unlinkFree(pfn uint64, order int) {
+	n, p := a.next[pfn], a.prev[pfn]
+	if p != nilIdx {
+		a.next[p] = n
+	} else {
+		a.heads[order] = n
+	}
+	if n != nilIdx {
+		a.prev[n] = p
+	}
+}
+
+// AllocBlock allocates a 2^order-page block, splitting larger blocks as
+// needed. It returns the head pfn, or ok=false when no block is
+// available.
+func (a *Allocator) AllocBlock(order int) (uint64, bool) {
+	if order < 0 || order > MaxOrder {
+		return 0, false
+	}
+	o := order
+	for o <= MaxOrder && a.heads[o] == nilIdx {
+		o++
+	}
+	if o > MaxOrder {
+		return 0, false
+	}
+	pfn := uint64(a.heads[o])
+	a.unlinkFree(pfn, o)
+	// Split down, returning upper halves to the free lists.
+	for o > order {
+		o--
+		buddy := pfn + 1<<uint(o)
+		a.state[buddy] = stateFree
+		a.order[buddy] = uint8(o)
+		a.pushFree(buddy, o)
+	}
+	a.state[pfn] = stateAlloc
+	a.order[pfn] = uint8(order)
+	a.nrFree -= 1 << uint(order)
+	a.Allocs++
+	return pfn, true
+}
+
+// AllocPage allocates a single frame.
+func (a *Allocator) AllocPage() (uint64, bool) { return a.AllocBlock(0) }
+
+// FreeBlock frees a block previously returned by AllocBlock with the
+// same order, coalescing with free buddies.
+func (a *Allocator) FreeBlock(pfn uint64, order int) {
+	if pfn >= a.totalPages || a.state[pfn] != stateAlloc || int(a.order[pfn]) != order {
+		panic(fmt.Sprintf("buddy: bad free of pfn %d order %d", pfn, order))
+	}
+	a.Frees++
+	a.nrFree += 1 << uint(order)
+	for order < MaxOrder {
+		buddy := pfn ^ 1<<uint(order)
+		if buddy >= a.totalPages || a.state[buddy] != stateFree || int(a.order[buddy]) != order {
+			break
+		}
+		a.unlinkFree(buddy, order)
+		a.state[buddy] = stateTail
+		if buddy < pfn {
+			a.state[pfn] = stateTail
+			pfn = buddy
+		}
+		order++
+	}
+	a.state[pfn] = stateFree
+	a.order[pfn] = uint8(order)
+	a.pushFree(pfn, order)
+}
+
+// FreePage frees a single frame.
+func (a *Allocator) FreePage(pfn uint64) { a.FreeBlock(pfn, 0) }
+
+// CheckInvariants validates allocator metadata: free-list membership
+// matches page state, block accounting matches nrFree, and no blocks
+// overlap. Exported for property tests; O(totalPages).
+func (a *Allocator) CheckInvariants() error {
+	var freeFromLists uint64
+	seen := make(map[uint64]bool)
+	for o := 0; o <= MaxOrder; o++ {
+		for i := a.heads[o]; i != nilIdx; i = a.next[i] {
+			pfn := uint64(i)
+			if a.state[pfn] != stateFree || int(a.order[pfn]) != o {
+				return fmt.Errorf("buddy: list %d contains pfn %d with state %d order %d", o, pfn, a.state[pfn], a.order[pfn])
+			}
+			if seen[pfn] {
+				return fmt.Errorf("buddy: pfn %d on two lists", pfn)
+			}
+			seen[pfn] = true
+			freeFromLists += 1 << uint(o)
+		}
+	}
+	if freeFromLists != a.nrFree {
+		return fmt.Errorf("buddy: nrFree %d but lists hold %d", a.nrFree, freeFromLists)
+	}
+	// Walk coverage: every frame belongs to exactly one block.
+	var pfn uint64
+	for pfn < a.totalPages {
+		st := a.state[pfn]
+		if st == stateTail {
+			return fmt.Errorf("buddy: pfn %d is a tail with no head", pfn)
+		}
+		size := uint64(1) << uint(a.order[pfn])
+		if st == stateFree && !seen[pfn] {
+			return fmt.Errorf("buddy: free head pfn %d missing from lists", pfn)
+		}
+		for t := pfn + 1; t < pfn+size && t < a.totalPages; t++ {
+			if a.state[t] != stateTail {
+				return fmt.Errorf("buddy: pfn %d inside block at %d has state %d", t, pfn, a.state[t])
+			}
+		}
+		pfn += size
+	}
+	return nil
+}

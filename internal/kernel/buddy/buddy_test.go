@@ -1,0 +1,313 @@
+package buddy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"refsched/internal/config"
+	"refsched/internal/dram"
+)
+
+func TestNewSeedsAllFree(t *testing.T) {
+	for _, n := range []uint64{1, 7, 64, 1000, 4096} {
+		a, err := New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.NrFree() != n {
+			t.Fatalf("New(%d): NrFree = %d", n, a.NrFree())
+		}
+		if err := a.CheckInvariants(); err != nil {
+			t.Fatalf("New(%d): %v", n, err)
+		}
+	}
+	if _, err := New(0); err == nil {
+		t.Fatal("New(0) accepted")
+	}
+}
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	a, _ := New(1024)
+	pfn, ok := a.AllocBlock(3) // 8 pages
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	if a.NrFree() != 1024-8 {
+		t.Fatalf("NrFree = %d", a.NrFree())
+	}
+	a.FreeBlock(pfn, 3)
+	if a.NrFree() != 1024 {
+		t.Fatalf("after free NrFree = %d", a.NrFree())
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoalescingRestoresMaxBlocks(t *testing.T) {
+	a, _ := New(1 << MaxOrder) // exactly one max block
+	// Fragment fully into order-0 pages.
+	var pages []uint64
+	for {
+		p, ok := a.AllocPage()
+		if !ok {
+			break
+		}
+		pages = append(pages, p)
+	}
+	if len(pages) != 1<<MaxOrder {
+		t.Fatalf("allocated %d pages", len(pages))
+	}
+	// Free all: buddies must merge back to a single max-order block.
+	for _, p := range pages {
+		a.FreePage(p)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if pfn, ok := a.AllocBlock(MaxOrder); !ok || pfn != 0 {
+		t.Fatalf("max block not restored: pfn=%d ok=%v", pfn, ok)
+	}
+}
+
+func TestExhaustionAndRecovery(t *testing.T) {
+	a, _ := New(256)
+	var pages []uint64
+	for {
+		p, ok := a.AllocPage()
+		if !ok {
+			break
+		}
+		pages = append(pages, p)
+	}
+	if uint64(len(pages)) != 256 || a.NrFree() != 0 {
+		t.Fatalf("exhaustion: %d pages, %d free", len(pages), a.NrFree())
+	}
+	if _, ok := a.AllocPage(); ok {
+		t.Fatal("alloc succeeded with zero free")
+	}
+	// Uniqueness.
+	seen := map[uint64]bool{}
+	for _, p := range pages {
+		if seen[p] {
+			t.Fatalf("pfn %d allocated twice", p)
+		}
+		seen[p] = true
+	}
+	for _, p := range pages {
+		a.FreePage(p)
+	}
+	if a.NrFree() != 256 {
+		t.Fatal("free pages not restored")
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	a, _ := New(64)
+	p, _ := a.AllocPage()
+	a.FreePage(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	a.FreePage(p)
+}
+
+// TestRandomOpsKeepInvariants drives random alloc/free sequences and
+// checks full metadata consistency after each batch.
+func TestRandomOpsKeepInvariants(t *testing.T) {
+	type step struct {
+		Alloc bool
+		Order uint8
+	}
+	f := func(steps []step) bool {
+		a, err := New(2048)
+		if err != nil {
+			return false
+		}
+		type block struct {
+			pfn   uint64
+			order int
+		}
+		var live []block
+		for _, s := range steps {
+			if s.Alloc || len(live) == 0 {
+				o := int(s.Order) % 5
+				if pfn, ok := a.AllocBlock(o); ok {
+					live = append(live, block{pfn, o})
+				}
+			} else {
+				b := live[len(live)-1]
+				live = live[:len(live)-1]
+				a.FreeBlock(b.pfn, b.order)
+			}
+		}
+		if a.CheckInvariants() != nil {
+			return false
+		}
+		// Conservation.
+		var livePages uint64
+		for _, b := range live {
+			livePages += 1 << uint(b.order)
+		}
+		return a.NrFree()+livePages == 2048
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBankMaskOps(t *testing.T) {
+	m := BankMask(0).Set(3).Set(7)
+	if !m.Has(3) || !m.Has(7) || m.Has(0) {
+		t.Fatalf("mask = %b", m)
+	}
+	if m.Count() != 2 {
+		t.Fatalf("Count = %d", m.Count())
+	}
+	if AllBanks(16).Count() != 16 {
+		t.Fatal("AllBanks(16) wrong")
+	}
+}
+
+func partitionRig(t *testing.T) (*PartitionAllocator, *dram.Mapper) {
+	t.Helper()
+	cfg := config.Default(config.Density8Gb, 1)
+	mapper, err := dram.NewMapper(cfg.Mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink to a manageable frame count while keeping the bank
+	// mapping: use only the first 4096 frames.
+	bud, err := New(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewPartitionAllocator(bud, mapper), mapper
+}
+
+func TestPartitionHonorsMask(t *testing.T) {
+	alloc, mapper := partitionRig(t)
+	mask := BankMask(0).Set(2).Set(5).Set(11)
+	last := -1
+	for i := 0; i < 500; i++ {
+		pfn, fellBack, ok := alloc.AllocPageFor(mask, &last)
+		if !ok {
+			t.Fatal("allocation failed with free memory")
+		}
+		if fellBack {
+			t.Fatal("unexpected fallback")
+		}
+		if g := mapper.PageGlobalBank(pfn); !mask.Has(g) {
+			t.Fatalf("page on bank %d outside mask", g)
+		}
+	}
+}
+
+func TestPartitionRoundRobinAcrossAllowedBanks(t *testing.T) {
+	alloc, mapper := partitionRig(t)
+	mask := BankMask(0).Set(1).Set(4).Set(9)
+	last := -1
+	var got []int
+	for i := 0; i < 9; i++ {
+		pfn, _, ok := alloc.AllocPageFor(mask, &last)
+		if !ok {
+			t.Fatal("alloc failed")
+		}
+		got = append(got, mapper.PageGlobalBank(pfn))
+	}
+	// Consecutive allocations must rotate 1 -> 4 -> 9 -> 1 ...
+	want := []int{1, 4, 9, 1, 4, 9, 1, 4, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rotation = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPartitionFallbackWhenBanksExhausted(t *testing.T) {
+	alloc, mapper := partitionRig(t)
+	mask := BankMask(0).Set(0)
+	last := -1
+	// 4096 frames / 16 banks = 256 frames on bank 0.
+	fallbacks := 0
+	for i := 0; i < 400; i++ {
+		pfn, fellBack, ok := alloc.AllocPageFor(mask, &last)
+		if !ok {
+			t.Fatal("alloc failed before memory exhausted")
+		}
+		if fellBack {
+			fallbacks++
+		} else if g := mapper.PageGlobalBank(pfn); g != 0 {
+			t.Fatalf("non-fallback page on bank %d", g)
+		}
+	}
+	if fallbacks != 400-256 {
+		t.Fatalf("fallbacks = %d, want %d", fallbacks, 400-256)
+	}
+	if alloc.Stats.Fallbacks == 0 {
+		t.Fatal("fallback stat not counted")
+	}
+}
+
+func TestPartitionConservation(t *testing.T) {
+	alloc, _ := partitionRig(t)
+	mask := BankMask(0).Set(3)
+	last := -1
+	var pfns []uint64
+	for i := 0; i < 100; i++ {
+		pfn, _, ok := alloc.AllocPageFor(mask, &last)
+		if !ok {
+			t.Fatal("alloc failed")
+		}
+		pfns = append(pfns, pfn)
+	}
+	total := alloc.Buddy().NrFree() + alloc.CachedPages() + uint64(len(pfns))
+	if total != 4096 {
+		t.Fatalf("conservation: free+cached+live = %d, want 4096", total)
+	}
+	for _, p := range pfns {
+		alloc.FreePage(p)
+	}
+	alloc.FreeCached()
+	if alloc.Buddy().NrFree() != 4096 {
+		t.Fatalf("after teardown NrFree = %d", alloc.Buddy().NrFree())
+	}
+	if err := alloc.Buddy().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionEmptyMaskMeansAllBanks(t *testing.T) {
+	alloc, mapper := partitionRig(t)
+	last := -1
+	seen := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		pfn, fellBack, ok := alloc.AllocPageFor(0, &last)
+		if !ok || fellBack {
+			t.Fatal("baseline alloc failed")
+		}
+		seen[mapper.PageGlobalBank(pfn)] = true
+	}
+	if len(seen) != 16 {
+		t.Fatalf("baseline spread over %d banks, want 16", len(seen))
+	}
+}
+
+func TestPartitionCacheHitPath(t *testing.T) {
+	alloc, _ := partitionRig(t)
+	// Allocating on bank 3 stashes pages for other banks; a later
+	// request for bank 0 must be served from the cache.
+	last := -1
+	alloc.AllocPageFor(BankMask(0).Set(3), &last)
+	if alloc.CachedPages() == 0 {
+		t.Fatal("no pages stashed")
+	}
+	before := alloc.Stats.CacheHits
+	last2 := -1
+	alloc.AllocPageFor(BankMask(0).Set(0), &last2)
+	if alloc.Stats.CacheHits != before+1 {
+		t.Fatal("cache hit path not taken")
+	}
+}

@@ -1,0 +1,44 @@
+package sched
+
+// NiceZeroWeight is the scheduling weight of a nice-0 task (Linux's
+// NICE_0_LOAD). Entity.Weight of zero is treated as this value.
+const NiceZeroWeight = 1024
+
+// niceToWeight is Linux's sched_prio_to_weight table: each nice step
+// changes CPU share by ~10%.
+var niceToWeight = [40]uint64{
+	/* -20 */ 88761, 71755, 56483, 46273, 36291,
+	/* -15 */ 29154, 23254, 18705, 14949, 11916,
+	/* -10 */ 9548, 7620, 6100, 4904, 3906,
+	/*  -5 */ 3121, 2501, 1991, 1586, 1277,
+	/*   0 */ 1024, 820, 655, 526, 423,
+	/*   5 */ 335, 272, 215, 172, 137,
+	/*  10 */ 110, 87, 70, 56, 45,
+	/*  15 */ 36, 29, 23, 18, 15,
+}
+
+// NiceToWeight converts a nice level (clamped to [-20, 19]) to a
+// scheduling weight.
+func NiceToWeight(nice int) uint64 {
+	if nice < -20 {
+		nice = -20
+	}
+	if nice > 19 {
+		nice = 19
+	}
+	return niceToWeight[nice+20]
+}
+
+// weightOf returns an entity's effective weight.
+func weightOf(e *Entity) uint64 {
+	if e.Weight == 0 {
+		return NiceZeroWeight
+	}
+	return e.Weight
+}
+
+// chargeVruntime converts ran cycles into weighted vruntime, exactly as
+// CFS does: delta × NICE_0_LOAD / weight.
+func chargeVruntime(e *Entity, ran uint64) uint64 {
+	return ran * NiceZeroWeight / weightOf(e)
+}

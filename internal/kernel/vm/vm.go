@@ -1,0 +1,84 @@
+// Package vm models per-task virtual memory: demand-paged page tables
+// mapping virtual pages to physical frames, with per-bank occupancy
+// accounting. Page size equals the DRAM row size (4 KB), so one virtual
+// page maps to exactly one DRAM row — the granularity the co-design's
+// bank partitioning operates at.
+package vm
+
+import (
+	"math/bits"
+
+	"refsched/internal/dram"
+	"refsched/internal/kernel/buddy"
+)
+
+// AddressSpace is one task's page table.
+type AddressSpace struct {
+	pageShift uint
+	pages     map[uint64]uint64 // vpn -> pfn
+	mapper    *dram.Mapper
+
+	// perBankPages counts resident pages per global bank — what the
+	// best-effort refresh-aware scheduler consults for high-footprint
+	// tasks (Section 5.4.1).
+	perBankPages []uint64
+	faults       uint64
+}
+
+// NewAddressSpace builds an empty address space.
+func NewAddressSpace(pageBytes uint64, mapper *dram.Mapper) *AddressSpace {
+	return &AddressSpace{
+		pageShift:    uint(bits.TrailingZeros64(pageBytes)),
+		pages:        make(map[uint64]uint64),
+		mapper:       mapper,
+		perBankPages: make([]uint64, mapper.Ranks()*mapper.BanksPerRank()),
+	}
+}
+
+// Lookup translates vaddr; ok=false means the page is not resident
+// (a fault is needed).
+func (as *AddressSpace) Lookup(vaddr uint64) (paddr uint64, ok bool) {
+	vpn := vaddr >> as.pageShift
+	pfn, ok := as.pages[vpn]
+	if !ok {
+		return 0, false
+	}
+	return pfn<<as.pageShift | vaddr&(1<<as.pageShift-1), true
+}
+
+// Map installs vpn -> pfn and accounts the page's bank.
+func (as *AddressSpace) Map(vaddr, pfn uint64) uint64 {
+	vpn := vaddr >> as.pageShift
+	as.pages[vpn] = pfn
+	as.perBankPages[as.mapper.PageGlobalBank(pfn)]++
+	as.faults++
+	return pfn<<as.pageShift | vaddr&(1<<as.pageShift-1)
+}
+
+// Resident returns the number of resident pages.
+func (as *AddressSpace) Resident() uint64 { return uint64(len(as.pages)) }
+
+// Faults returns the demand-fault count.
+func (as *AddressSpace) Faults() uint64 { return as.faults }
+
+// PagesOnBank returns resident pages on global bank g.
+func (as *AddressSpace) PagesOnBank(g int) uint64 { return as.perBankPages[g] }
+
+// BankOccupancy returns the fraction of this task's pages on bank g.
+func (as *AddressSpace) BankOccupancy(g int) float64 {
+	if len(as.pages) == 0 {
+		return 0
+	}
+	return float64(as.perBankPages[g]) / float64(len(as.pages))
+}
+
+// ReleaseAll frees every resident page back to the allocator.
+func (as *AddressSpace) ReleaseAll(alloc *buddy.PartitionAllocator) {
+	for vpn, pfn := range as.pages {
+		alloc.FreePage(pfn)
+		delete(as.pages, vpn)
+	}
+	for i := range as.perBankPages {
+		as.perBankPages[i] = 0
+	}
+}

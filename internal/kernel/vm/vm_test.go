@@ -1,0 +1,97 @@
+package vm
+
+import (
+	"testing"
+
+	"refsched/internal/config"
+	"refsched/internal/dram"
+	"refsched/internal/kernel/buddy"
+)
+
+func rig(t *testing.T) (*AddressSpace, *buddy.PartitionAllocator, *dram.Mapper) {
+	t.Helper()
+	cfg := config.Default(config.Density8Gb, 1)
+	mapper, err := dram.NewMapper(cfg.Mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bud, err := buddy.New(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewAddressSpace(4096, mapper), buddy.NewPartitionAllocator(bud, mapper), mapper
+}
+
+func TestLookupMapRoundTrip(t *testing.T) {
+	as, _, _ := rig(t)
+	if _, ok := as.Lookup(0x12345); ok {
+		t.Fatal("unmapped lookup succeeded")
+	}
+	paddr := as.Map(0x12345, 77)
+	if want := uint64(77)<<12 | 0x345; paddr != want {
+		t.Fatalf("Map returned %#x, want %#x", paddr, want)
+	}
+	got, ok := as.Lookup(0x12345)
+	if !ok || got != paddr {
+		t.Fatalf("Lookup = %#x ok=%v", got, ok)
+	}
+	// Same page, different offset.
+	got2, ok := as.Lookup(0x12000)
+	if !ok || got2 != 77<<12 {
+		t.Fatalf("offset lookup = %#x", got2)
+	}
+	if as.Resident() != 1 || as.Faults() != 1 {
+		t.Fatalf("resident=%d faults=%d", as.Resident(), as.Faults())
+	}
+}
+
+func TestBankAccounting(t *testing.T) {
+	as, _, mapper := rig(t)
+	// Map three pages on known banks.
+	as.Map(0x1000, 0) // pfn 0 -> bank 0
+	as.Map(0x2000, 1) // pfn 1 -> bank 1
+	as.Map(0x3000, 17)
+	b0 := mapper.PageGlobalBank(0)
+	if as.PagesOnBank(b0) == 0 {
+		t.Fatal("bank 0 occupancy not recorded")
+	}
+	sum := 0.0
+	for g := 0; g < 16; g++ {
+		sum += as.BankOccupancy(g)
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("occupancies sum to %v, want 1", sum)
+	}
+}
+
+func TestReleaseAll(t *testing.T) {
+	as, alloc, _ := rig(t)
+	last := -1
+	for i := uint64(0); i < 50; i++ {
+		pfn, _, ok := alloc.AllocPageFor(0, &last)
+		if !ok {
+			t.Fatal("alloc failed")
+		}
+		as.Map(i*4096, pfn)
+	}
+	free := alloc.Buddy().NrFree()
+	as.ReleaseAll(alloc)
+	if as.Resident() != 0 {
+		t.Fatal("pages left resident")
+	}
+	if alloc.Buddy().NrFree() != free+50 {
+		t.Fatalf("frames not returned: %d -> %d", free, alloc.Buddy().NrFree())
+	}
+	for g := 0; g < 16; g++ {
+		if as.PagesOnBank(g) != 0 {
+			t.Fatalf("bank %d occupancy leaked", g)
+		}
+	}
+}
+
+func TestEmptyOccupancy(t *testing.T) {
+	as, _, _ := rig(t)
+	if as.BankOccupancy(0) != 0 {
+		t.Fatal("empty address space has nonzero occupancy")
+	}
+}

@@ -1,0 +1,422 @@
+package mc
+
+import (
+	"refsched/internal/config"
+	"refsched/internal/dram"
+	"refsched/internal/refresh"
+	"refsched/internal/sim"
+)
+
+// promptWindowFactor bounds how far into the future the controller will
+// pre-commit a command sequence: a pick is only committed if its data
+// burst begins within this many cycles of the decision point. Larger
+// values pipeline more aggressively but make FR-FCFS decisions stale.
+const promptWindow = 600
+
+// starvationAge is the queue age (cycles) past which FR-FCFS stops
+// letting row hits bypass an older request.
+const starvationAge = 4000
+
+// maxBypasses bounds how many younger row-hit requests may overtake any
+// single queued request before it gets absolute priority.
+const maxBypasses = 8
+
+// Controller is the per-channel memory controller.
+type Controller struct {
+	eng     *sim.Engine
+	ch      *dram.Channel
+	cfg     config.MemConfig
+	policy  refresh.Scheduler
+	pauser  refresh.Pauser // non-nil when the policy supports pausing
+	enabled bool           // refresh enabled
+
+	readQ  []*Request
+	writeQ []*Request
+	// perBankQueued counts queued demand reads per global bank
+	// (refresh.QueueView for the OOO policy).
+	perBankQueued []int
+
+	draining bool
+
+	// Issue-event bookkeeping: at most one pending try-issue event, at
+	// issueAt.
+	issuePending bool
+	issueAt      sim.Time
+	// minRejectedStart is the earliest command start among plans
+	// rejected for promptness during the current evaluation; it tells
+	// earliestRetry exactly when re-evaluating becomes useful (without
+	// it, a saturated bus degenerates into per-cycle queue rescans).
+	minRejectedStart sim.Time
+
+	// Read-queue back-pressure waiters, FIFO.
+	readWaiters  []func()
+	writeWaiters []func()
+
+	// tracer, when set, observes every accepted demand request
+	// (cycle, line address, write, task).
+	tracer func(cycle, addr uint64, write bool, task int)
+
+	// Utilization sampling for Adaptive Refresh.
+	utilLastReset sim.Time
+	utilIntegral  float64
+	utilLastTime  sim.Time
+	utilLastOcc   int
+
+	Stats Stats
+}
+
+// New builds a controller for channel ch using the given refresh policy.
+func New(eng *sim.Engine, ch *dram.Channel, cfg config.MemConfig, policy refresh.Scheduler) *Controller {
+	c := &Controller{
+		eng:           eng,
+		ch:            ch,
+		cfg:           cfg,
+		policy:        policy,
+		enabled:       policy.Name() != "none",
+		perBankQueued: make([]int, ch.TotalBanks()),
+	}
+	if p, ok := policy.(refresh.Pauser); ok {
+		c.pauser = p
+	}
+	if c.enabled {
+		c.eng.Schedule(policy.Interval(), c.refreshTick)
+	}
+	return c
+}
+
+// Policy returns the refresh policy (the OS inspects it for SlotPlanner
+// support).
+func (c *Controller) Policy() refresh.Scheduler { return c.policy }
+
+// SetTracer installs a request observer invoked for every accepted
+// demand request (nil disables tracing).
+func (c *Controller) SetTracer(fn func(cycle, addr uint64, write bool, task int)) {
+	c.tracer = fn
+}
+
+// Channel returns the managed DRAM channel.
+func (c *Controller) Channel() *dram.Channel { return c.ch }
+
+// CanAcceptRead reports whether the read queue has space.
+func (c *Controller) CanAcceptRead() bool { return len(c.readQ) < c.cfg.ReadQueue }
+
+// CanAcceptWrite reports whether the write queue has space.
+func (c *Controller) CanAcceptWrite() bool { return len(c.writeQ) < c.cfg.WriteQueue }
+
+// SubmitRead enqueues a demand read. It returns false (and counts a
+// back-pressure stall) when the queue is full; the caller should register
+// a waiter via WhenReadSpace and retry.
+func (c *Controller) SubmitRead(r *Request) bool {
+	if !c.CanAcceptRead() {
+		c.Stats.QueueFullReadStalls++
+		return false
+	}
+	r.Arrive = c.eng.Now()
+	r.Write = false
+	if c.tracer != nil {
+		c.tracer(uint64(r.Arrive), r.Addr, false, r.TaskID)
+	}
+	c.trackOcc()
+	c.readQ = append(c.readQ, r)
+	c.perBankQueued[r.Coord.GlobalBank(c.ch.BanksPerRank)]++
+	c.kick()
+	return true
+}
+
+// SubmitWrite enqueues a posted write (an LLC write-back). It returns
+// false when the write queue is full.
+func (c *Controller) SubmitWrite(r *Request) bool {
+	if !c.CanAcceptWrite() {
+		c.Stats.QueueFullWriteStalls++
+		return false
+	}
+	r.Arrive = c.eng.Now()
+	r.Write = true
+	if c.tracer != nil {
+		c.tracer(uint64(r.Arrive), r.Addr, true, r.TaskID)
+	}
+	c.writeQ = append(c.writeQ, r)
+	if len(c.writeQ) >= c.cfg.WriteHighWater && !c.draining {
+		c.draining = true
+		c.Stats.WriteDrains++
+	}
+	c.kick()
+	return true
+}
+
+// WhenReadSpace registers fn to run once a read-queue slot frees.
+func (c *Controller) WhenReadSpace(fn func()) { c.readWaiters = append(c.readWaiters, fn) }
+
+// WhenWriteSpace registers fn to run once a write-queue slot frees.
+func (c *Controller) WhenWriteSpace(fn func()) { c.writeWaiters = append(c.writeWaiters, fn) }
+
+// QueuedReads returns the current read-queue depth.
+func (c *Controller) QueuedReads() int { return len(c.readQ) }
+
+// QueuedWrites returns the current write-queue depth.
+func (c *Controller) QueuedWrites() int { return len(c.writeQ) }
+
+// --- refresh.QueueView ---
+
+// OutstandingToBank implements refresh.QueueView.
+func (c *Controller) OutstandingToBank(g int) int { return c.perBankQueued[g] }
+
+// Utilization implements refresh.QueueView: mean read-queue occupancy
+// fraction since the previous call.
+func (c *Controller) Utilization() float64 {
+	now := c.eng.Now()
+	c.trackOcc()
+	dt := float64(now - c.utilLastReset)
+	u := 0.0
+	if dt > 0 {
+		u = c.utilIntegral / (dt * float64(c.cfg.ReadQueue))
+	}
+	c.utilLastReset = now
+	c.utilIntegral = 0
+	return u
+}
+
+// trackOcc integrates read-queue occupancy over time.
+func (c *Controller) trackOcc() {
+	now := c.eng.Now()
+	c.utilIntegral += float64(now-c.utilLastTime) * float64(c.utilLastOcc)
+	c.utilLastTime = now
+	c.utilLastOcc = len(c.readQ)
+}
+
+// --- refresh execution ---
+
+func (c *Controller) refreshTick() {
+	now := c.eng.Now()
+	t := c.policy.Next(now, c)
+	if t.Skip {
+		c.Stats.RefreshSkipped++
+	} else {
+		c.Stats.RefreshCommands++
+		var end sim.Time
+		switch {
+		case t.AllBank:
+			end = c.ch.RefreshRank(now, t.Rank, t.Dur, t.Rows)
+		case t.SubarrayLevel:
+			end = c.ch.RefreshSubarray(now, t.GlobalBank, t.Subarray, t.Dur, t.Rows)
+		default:
+			end = c.ch.RefreshBank(now, t.GlobalBank, t.Dur, t.Rows)
+		}
+		// Blocked requests become issuable when the refresh window ends.
+		c.scheduleIssue(end)
+	}
+	c.eng.Schedule(c.policy.Interval(), c.refreshTick)
+}
+
+// --- FR-FCFS issue engine ---
+
+// kick requests an immediate issue evaluation.
+func (c *Controller) kick() { c.scheduleIssue(c.eng.Now()) }
+
+// scheduleIssue ensures a try-issue event exists no later than t.
+func (c *Controller) scheduleIssue(t sim.Time) {
+	if t < c.eng.Now() {
+		t = c.eng.Now()
+	}
+	if c.issuePending && c.issueAt <= t {
+		return
+	}
+	c.issuePending = true
+	c.issueAt = t
+	c.eng.ScheduleAt(t, c.tryIssue)
+}
+
+func (c *Controller) tryIssue() {
+	// This event may be stale (a newer one was requested); only the
+	// earliest matters, so clear the flag and re-evaluate from scratch.
+	c.issuePending = false
+	c.minRejectedStart = 0
+	now := c.eng.Now()
+
+	for {
+		q := c.pickQueue()
+		if q == nil {
+			return
+		}
+		idx, plan := c.pick(*q, now)
+		if idx < 0 {
+			// Nothing can start promptly; retry when resources free.
+			c.scheduleIssue(c.earliestRetry(now))
+			return
+		}
+		req := (*q)[idx]
+		c.issue(req, plan, q, idx, now)
+	}
+}
+
+// pickQueue selects which queue FR-FCFS draws from: writes while
+// draining (or when there is nothing else to do), reads otherwise.
+func (c *Controller) pickQueue() *[]*Request {
+	if c.draining && len(c.writeQ) <= c.cfg.WriteLowWater {
+		c.draining = false
+	}
+	switch {
+	case c.draining && len(c.writeQ) > 0:
+		return &c.writeQ
+	case len(c.readQ) > 0:
+		return &c.readQ
+	case len(c.writeQ) > 0:
+		return &c.writeQ // opportunistic drain on an idle channel
+	default:
+		return nil
+	}
+}
+
+// pick runs FR-FCFS over q at time now: prefer the oldest row-hit
+// request, else the oldest request, subject to anti-starvation; a pick is
+// accepted only if it can start promptly. Under the FCFS ablation only
+// the oldest request is considered.
+func (c *Controller) pick(q []*Request, now sim.Time) (int, dram.AccessPlan) {
+	if c.cfg.FCFS {
+		if plan, ok := c.promptPlan(q[0], now); ok {
+			return 0, plan
+		}
+		return -1, dram.AccessPlan{}
+	}
+	best := -1
+	bestHit := false
+	// Anti-starvation: an over-bypassed or over-aged oldest request wins
+	// outright.
+	old := q[0]
+	if old.bypasses >= maxBypasses || uint64(now-old.Arrive) > starvationAge {
+		if plan, ok := c.promptPlan(old, now); ok {
+			return 0, plan
+		}
+	}
+	var bestPlan dram.AccessPlan
+	for i, r := range q {
+		bank := c.ch.BankAt(r.Coord.Rank, r.Coord.Bank)
+		hit := bank.OpenRow() == int64(r.Coord.Row) && !bank.RefreshingRow(r.Coord.Row, now)
+		if best >= 0 && (!hit || bestHit) {
+			continue // only a row hit can beat an older pick
+		}
+		plan, ok := c.promptPlan(r, now)
+		if !ok {
+			continue
+		}
+		best, bestPlan, bestHit = i, plan, hit
+		if bestHit && i == 0 {
+			break
+		}
+	}
+	if best > 0 {
+		q[0].bypasses++
+	}
+	return best, bestPlan
+}
+
+// promptPlan plans r and accepts it only if the command sequence starts
+// within the prompt window; it also accounts refresh-induced stalling.
+func (c *Controller) promptPlan(r *Request, now sim.Time) (dram.AccessPlan, bool) {
+	bank := c.ch.BankAt(r.Coord.Rank, r.Coord.Bank)
+	if bank.RefreshingRow(r.Coord.Row, now) {
+		// Refresh pausing: abort the in-progress refresh in favour of
+		// this demand request when the policy allows it.
+		if c.pauser != nil && c.pauser.RequestPause(now, r.Coord.Rank) {
+			remaining := c.ch.AbortRefresh(r.Coord.Rank, -1, now, c.pauser.PausePenalty())
+			if remaining > 0 {
+				c.pauser.Paused(r.Coord.Rank, remaining)
+				c.Stats.RefreshPauses++
+			}
+			// Fall through: the bank frees after the pause penalty.
+		} else {
+			if !r.Write && !r.RefreshStalled {
+				r.RefreshStalled = true
+				c.Stats.RefreshStalledReads++
+				c.Stats.RefreshStallCycles += uint64(bank.RowRefreshUntil(r.Coord.Row) - now)
+			}
+			return dram.AccessPlan{}, false
+		}
+	}
+	plan := c.ch.Plan(now, r.Coord, r.Write)
+	if plan.Start > now+promptWindow {
+		if c.minRejectedStart == 0 || plan.Start < c.minRejectedStart {
+			c.minRejectedStart = plan.Start
+		}
+		return dram.AccessPlan{}, false
+	}
+	return plan, true
+}
+
+// earliestRetry computes when issuing could next succeed: the moment
+// the best promptness-rejected plan becomes prompt, or the earliest
+// future bank-ready / refresh-end among queued requests' banks.
+// Requests whose banks are free *now* were already evaluated this pass
+// (and are covered by the rejected-plan bound), so they impose no
+// next-cycle retry.
+func (c *Controller) earliestRetry(now sim.Time) sim.Time {
+	earliest := now + promptWindow
+	if c.minRejectedStart > 0 {
+		t := c.minRejectedStart - promptWindow
+		if t <= now {
+			t = now + 1
+		}
+		if t < earliest {
+			earliest = t
+		}
+	}
+	consider := func(reqs []*Request) {
+		for _, r := range reqs {
+			b := c.ch.BankAt(r.Coord.Rank, r.Coord.Bank)
+			t := b.ReadyAt()
+			if s := b.RowRefreshUntil(r.Coord.Row); s > t {
+				t = s
+			}
+			if t > now && t < earliest {
+				earliest = t
+			}
+		}
+	}
+	consider(c.readQ)
+	if c.draining || len(c.readQ) == 0 {
+		consider(c.writeQ)
+	}
+	if earliest <= now {
+		earliest = now + 1
+	}
+	return earliest
+}
+
+// issue commits the plan and schedules completion.
+func (c *Controller) issue(r *Request, plan dram.AccessPlan, q *[]*Request, idx int, now sim.Time) {
+	c.ch.Commit(r.Coord, plan)
+	r.IssueAt = plan.Start
+	r.FinishAt = plan.DataEnd
+	if !r.Write {
+		c.trackOcc()
+		c.perBankQueued[r.Coord.GlobalBank(c.ch.BanksPerRank)]--
+		c.Stats.Reads++
+		c.Stats.ReadLatencySum += uint64(plan.DataEnd - r.Arrive)
+		c.Stats.ReadQueueDelaySum += uint64(plan.Start - r.Arrive)
+	} else {
+		c.Stats.Writes++
+	}
+	*q = append((*q)[:idx], (*q)[idx+1:]...)
+
+	req := r
+	c.eng.ScheduleAt(plan.DataEnd, func() {
+		if req.Done != nil {
+			req.Done(req)
+		}
+	})
+	c.notifyWaiters()
+}
+
+// notifyWaiters wakes queue-space waiters now that a slot freed.
+func (c *Controller) notifyWaiters() {
+	for len(c.readWaiters) > 0 && c.CanAcceptRead() {
+		fn := c.readWaiters[0]
+		c.readWaiters = c.readWaiters[1:]
+		fn()
+	}
+	for len(c.writeWaiters) > 0 && c.CanAcceptWrite() {
+		fn := c.writeWaiters[0]
+		c.writeWaiters = c.writeWaiters[1:]
+		fn()
+	}
+}

@@ -1,0 +1,364 @@
+// Package rbtree implements a generic red-black tree, the time-ordered
+// structure the Linux CFS scheduler keeps its runnable tasks in. It
+// supports ordered insertion, deletion, leftmost lookup, and in-order
+// iteration — everything pick_next_task (Algorithm 3) needs to walk
+// candidates leftmost-first.
+package rbtree
+
+type color bool
+
+const (
+	red   color = false
+	black color = true
+)
+
+// Node is a tree node holding a value.
+type Node[V any] struct {
+	Value               V
+	left, right, parent *Node[V]
+	color               color
+}
+
+// Tree is a red-black tree ordered by a user-provided less function.
+// Duplicate-ordering values are allowed; ties break toward the right
+// (FIFO among equals for insertion order).
+type Tree[V any] struct {
+	root *Node[V]
+	size int
+	less func(a, b V) bool
+}
+
+// New builds an empty tree with the given strict-weak ordering.
+func New[V any](less func(a, b V) bool) *Tree[V] {
+	return &Tree[V]{less: less}
+}
+
+// Len returns the number of nodes.
+func (t *Tree[V]) Len() int { return t.size }
+
+// Insert adds v and returns its node (for later deletion).
+func (t *Tree[V]) Insert(v V) *Node[V] {
+	n := &Node[V]{Value: v, color: red}
+	var parent *Node[V]
+	link := &t.root
+	for *link != nil {
+		parent = *link
+		if t.less(v, parent.Value) {
+			link = &parent.left
+		} else {
+			link = &parent.right
+		}
+	}
+	n.parent = parent
+	*link = n
+	t.size++
+	t.insertFixup(n)
+	return n
+}
+
+// Min returns the leftmost node, or nil when empty.
+func (t *Tree[V]) Min() *Node[V] {
+	n := t.root
+	if n == nil {
+		return nil
+	}
+	for n.left != nil {
+		n = n.left
+	}
+	return n
+}
+
+// Max returns the rightmost node, or nil when empty.
+func (t *Tree[V]) Max() *Node[V] {
+	n := t.root
+	if n == nil {
+		return nil
+	}
+	for n.right != nil {
+		n = n.right
+	}
+	return n
+}
+
+// Next returns the in-order successor of n, or nil.
+func (t *Tree[V]) Next(n *Node[V]) *Node[V] {
+	if n.right != nil {
+		n = n.right
+		for n.left != nil {
+			n = n.left
+		}
+		return n
+	}
+	p := n.parent
+	for p != nil && n == p.right {
+		n, p = p, p.parent
+	}
+	return p
+}
+
+// Ascend calls fn on every value leftmost-first until fn returns false.
+func (t *Tree[V]) Ascend(fn func(v V) bool) {
+	for n := t.Min(); n != nil; n = t.Next(n) {
+		if !fn(n.Value) {
+			return
+		}
+	}
+}
+
+// Delete removes node n from the tree. n must be a live node of this
+// tree (obtained from Insert and not yet deleted).
+func (t *Tree[V]) Delete(n *Node[V]) {
+	t.size--
+	var fixNode, fixParent *Node[V]
+	removedColor := n.color
+
+	switch {
+	case n.left == nil:
+		fixNode = n.right
+		fixParent = n.parent
+		t.transplant(n, n.right)
+	case n.right == nil:
+		fixNode = n.left
+		fixParent = n.parent
+		t.transplant(n, n.left)
+	default:
+		// Successor y (leftmost of right subtree) replaces n.
+		y := n.right
+		for y.left != nil {
+			y = y.left
+		}
+		removedColor = y.color
+		fixNode = y.right
+		if y.parent == n {
+			fixParent = y
+		} else {
+			fixParent = y.parent
+			t.transplant(y, y.right)
+			y.right = n.right
+			y.right.parent = y
+		}
+		t.transplant(n, y)
+		y.left = n.left
+		y.left.parent = y
+		y.color = n.color
+	}
+	if removedColor == black {
+		t.deleteFixup(fixNode, fixParent)
+	}
+	n.left, n.right, n.parent = nil, nil, nil
+}
+
+func (t *Tree[V]) transplant(u, v *Node[V]) {
+	switch {
+	case u.parent == nil:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	if v != nil {
+		v.parent = u.parent
+	}
+}
+
+func (t *Tree[V]) rotateLeft(x *Node[V]) {
+	y := x.right
+	x.right = y.left
+	if y.left != nil {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+}
+
+func (t *Tree[V]) rotateRight(x *Node[V]) {
+	y := x.left
+	x.left = y.right
+	if y.right != nil {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+}
+
+func (t *Tree[V]) insertFixup(z *Node[V]) {
+	for z.parent != nil && z.parent.color == red {
+		gp := z.parent.parent
+		if z.parent == gp.left {
+			uncle := gp.right
+			if uncle != nil && uncle.color == red {
+				z.parent.color = black
+				uncle.color = black
+				gp.color = red
+				z = gp
+				continue
+			}
+			if z == z.parent.right {
+				z = z.parent
+				t.rotateLeft(z)
+			}
+			z.parent.color = black
+			gp.color = red
+			t.rotateRight(gp)
+		} else {
+			uncle := gp.left
+			if uncle != nil && uncle.color == red {
+				z.parent.color = black
+				uncle.color = black
+				gp.color = red
+				z = gp
+				continue
+			}
+			if z == z.parent.left {
+				z = z.parent
+				t.rotateRight(z)
+			}
+			z.parent.color = black
+			gp.color = red
+			t.rotateLeft(gp)
+		}
+	}
+	t.root.color = black
+}
+
+func isBlack[V any](n *Node[V]) bool { return n == nil || n.color == black }
+
+func (t *Tree[V]) deleteFixup(x, parent *Node[V]) {
+	for x != t.root && isBlack(x) {
+		if parent == nil {
+			break
+		}
+		if x == parent.left {
+			w := parent.right
+			if w != nil && w.color == red {
+				w.color = black
+				parent.color = red
+				t.rotateLeft(parent)
+				w = parent.right
+			}
+			if w == nil {
+				x, parent = parent, parent.parent
+				continue
+			}
+			if isBlack(w.left) && isBlack(w.right) {
+				w.color = red
+				x, parent = parent, parent.parent
+				continue
+			}
+			if isBlack(w.right) {
+				if w.left != nil {
+					w.left.color = black
+				}
+				w.color = red
+				t.rotateRight(w)
+				w = parent.right
+			}
+			w.color = parent.color
+			parent.color = black
+			if w.right != nil {
+				w.right.color = black
+			}
+			t.rotateLeft(parent)
+			x = t.root
+			break
+		}
+		// Mirror case.
+		w := parent.left
+		if w != nil && w.color == red {
+			w.color = black
+			parent.color = red
+			t.rotateRight(parent)
+			w = parent.left
+		}
+		if w == nil {
+			x, parent = parent, parent.parent
+			continue
+		}
+		if isBlack(w.left) && isBlack(w.right) {
+			w.color = red
+			x, parent = parent, parent.parent
+			continue
+		}
+		if isBlack(w.left) {
+			if w.right != nil {
+				w.right.color = black
+			}
+			w.color = red
+			t.rotateLeft(w)
+			w = parent.left
+		}
+		w.color = parent.color
+		parent.color = black
+		if w.left != nil {
+			w.left.color = black
+		}
+		t.rotateRight(parent)
+		x = t.root
+		break
+	}
+	if x != nil {
+		x.color = black
+	}
+}
+
+// CheckInvariants verifies red-black properties, returning the black
+// height, whether ordering holds, and whether color rules hold. It is
+// exported for property-based tests.
+func (t *Tree[V]) CheckInvariants() (blackHeight int, ordered, colorsOK bool) {
+	ordered = true
+	colorsOK = t.root == nil || t.root.color == black
+	var prev *V
+	t.Ascend(func(v V) bool {
+		if prev != nil && t.less(v, *prev) {
+			ordered = false
+		}
+		p := v
+		prev = &p
+		return true
+	})
+	var walk func(n *Node[V]) (int, bool)
+	walk = func(n *Node[V]) (int, bool) {
+		if n == nil {
+			return 1, true
+		}
+		if n.color == red {
+			if !isBlack(n.left) || !isBlack(n.right) {
+				return 0, false
+			}
+		}
+		lh, lok := walk(n.left)
+		rh, rok := walk(n.right)
+		if !lok || !rok || lh != rh {
+			return 0, false
+		}
+		h := lh
+		if n.color == black {
+			h++
+		}
+		return h, true
+	}
+	h, ok := walk(t.root)
+	if !ok {
+		colorsOK = false
+	}
+	return h, ordered, colorsOK
+}

@@ -1,0 +1,187 @@
+package rbtree
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intTree() *Tree[int] { return New(func(a, b int) bool { return a < b }) }
+
+func collect(t *Tree[int]) []int {
+	var out []int
+	t.Ascend(func(v int) bool { out = append(out, v); return true })
+	return out
+}
+
+func TestInsertAscendSorted(t *testing.T) {
+	tr := intTree()
+	in := []int{5, 3, 8, 1, 9, 2, 7, 4, 6, 0}
+	for _, v := range in {
+		tr.Insert(v)
+	}
+	got := collect(tr)
+	if !sort.IntsAreSorted(got) || len(got) != len(in) {
+		t.Fatalf("Ascend = %v", got)
+	}
+	if tr.Min().Value != 0 || tr.Max().Value != 9 {
+		t.Fatalf("Min/Max = %d/%d", tr.Min().Value, tr.Max().Value)
+	}
+	if tr.Len() != 10 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestDeleteEveryNode(t *testing.T) {
+	tr := intTree()
+	var nodes []*Node[int]
+	for _, v := range []int{5, 3, 8, 1, 9, 2, 7, 4, 6, 0} {
+		nodes = append(nodes, tr.Insert(v))
+	}
+	// Delete in insertion order, checking invariants each step.
+	for i, n := range nodes {
+		tr.Delete(n)
+		if _, ordered, colorsOK := tr.CheckInvariants(); !ordered || !colorsOK {
+			t.Fatalf("invariants broken after delete %d", i)
+		}
+	}
+	if tr.Len() != 0 || tr.Min() != nil {
+		t.Fatal("tree not empty after deleting everything")
+	}
+}
+
+func TestDuplicateValues(t *testing.T) {
+	tr := intTree()
+	n1 := tr.Insert(5)
+	n2 := tr.Insert(5)
+	n3 := tr.Insert(5)
+	if got := collect(tr); len(got) != 3 {
+		t.Fatalf("3 duplicates stored as %v", got)
+	}
+	tr.Delete(n2)
+	tr.Delete(n1)
+	tr.Delete(n3)
+	if tr.Len() != 0 {
+		t.Fatal("duplicates not fully deleted")
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := intTree()
+	for i := 0; i < 10; i++ {
+		tr.Insert(i)
+	}
+	var seen []int
+	tr.Ascend(func(v int) bool { seen = append(seen, v); return len(seen) < 3 })
+	if len(seen) != 3 || seen[2] != 2 {
+		t.Fatalf("early stop saw %v", seen)
+	}
+}
+
+func TestNextTraversal(t *testing.T) {
+	tr := intTree()
+	for _, v := range []int{4, 2, 6, 1, 3, 5, 7} {
+		tr.Insert(v)
+	}
+	var got []int
+	for n := tr.Min(); n != nil; n = tr.Next(n) {
+		got = append(got, n.Value)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("Next traversal = %v", got)
+		}
+	}
+}
+
+// TestRandomOpsMatchReference drives random insert/delete sequences and
+// checks ordering, size, and red-black invariants against a sorted-slice
+// oracle.
+func TestRandomOpsMatchReference(t *testing.T) {
+	type op struct {
+		Insert bool
+		Val    uint8
+	}
+	f := func(ops []op) bool {
+		tr := intTree()
+		var ref []int
+		nodes := map[int][]*Node[int]{}
+		for _, o := range ops {
+			v := int(o.Val)
+			if o.Insert || len(nodes[v]) == 0 {
+				nodes[v] = append(nodes[v], tr.Insert(v))
+				ref = append(ref, v)
+			} else {
+				ns := nodes[v]
+				tr.Delete(ns[len(ns)-1])
+				nodes[v] = ns[:len(ns)-1]
+				for i, rv := range ref {
+					if rv == v {
+						ref = append(ref[:i], ref[i+1:]...)
+						break
+					}
+				}
+			}
+			if tr.Len() != len(ref) {
+				return false
+			}
+		}
+		sort.Ints(ref)
+		got := collect(tr)
+		if len(got) != len(ref) {
+			return false
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				return false
+			}
+		}
+		_, ordered, colorsOK := tr.CheckInvariants()
+		return ordered && colorsOK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBlackHeightLogarithmic sanity-checks balance: black height of a
+// 1<<12 node tree stays near log2(n).
+func TestBlackHeightLogarithmic(t *testing.T) {
+	tr := intTree()
+	const n = 4096
+	for i := 0; i < n; i++ {
+		tr.Insert(i) // adversarial sorted insertion
+	}
+	bh, ordered, colorsOK := tr.CheckInvariants()
+	if !ordered || !colorsOK {
+		t.Fatal("invariants broken")
+	}
+	// Black height <= log2(n+1) + 1 for a red-black tree.
+	if bh > 14 {
+		t.Fatalf("black height %d too large for %d nodes", bh, n)
+	}
+}
+
+func TestStructKeyedTree(t *testing.T) {
+	type ent struct {
+		vr uint64
+		id int
+	}
+	tr := New(func(a, b ent) bool {
+		if a.vr != b.vr {
+			return a.vr < b.vr
+		}
+		return a.id < b.id
+	})
+	tr.Insert(ent{10, 2})
+	tr.Insert(ent{10, 1})
+	tr.Insert(ent{5, 9})
+	if m := tr.Min().Value; m.vr != 5 || m.id != 9 {
+		t.Fatalf("Min = %+v", m)
+	}
+	var ids []int
+	tr.Ascend(func(e ent) bool { ids = append(ids, e.id); return true })
+	if ids[1] != 1 || ids[2] != 2 {
+		t.Fatalf("tie-break order = %v", ids)
+	}
+}

@@ -1,0 +1,202 @@
+package refresh
+
+import (
+	"testing"
+
+	"refsched/internal/config"
+	"refsched/internal/sim"
+)
+
+func TestElasticDefersUnderLoadForcesAtLimit(t *testing.T) {
+	g := geo(t, 64)
+	e := NewElastic(g)
+	busy := &fakeQueue{perBank: make([]int, g.TotalBanks())}
+	for i := range busy.perBank {
+		busy.perBank[i] = 5 // everything loaded
+	}
+	interval := e.Interval()
+	var issued, skipped int
+	// Drive well past the postponement limit: forced issues must appear.
+	for tick := uint64(1); tick <= uint64(maxPostponed+4)*uint64(g.Ranks)*2; tick++ {
+		tgt := e.Next(sim.Time(tick*interval), busy)
+		if tgt.Skip {
+			skipped++
+		} else {
+			issued++
+			if !tgt.AllBank {
+				t.Fatal("elastic must issue rank-level refreshes")
+			}
+		}
+	}
+	if skipped == 0 {
+		t.Fatal("elastic never postponed under load")
+	}
+	if e.ForcedIssues == 0 {
+		t.Fatal("elastic never forced at the postponement limit")
+	}
+	// Debt is bounded near the JEDEC limit.
+	for r, d := range e.debt {
+		if d > maxPostponed+1 {
+			t.Fatalf("rank %d debt %d exceeds limit", r, d)
+		}
+	}
+}
+
+func TestElasticIssuesImmediatelyWhenIdle(t *testing.T) {
+	g := geo(t, 64)
+	e := NewElastic(g)
+	idle := &fakeQueue{perBank: make([]int, g.TotalBanks())}
+	interval := e.Interval()
+	issued := 0
+	for tick := uint64(1); tick <= 8; tick++ {
+		if !e.Next(sim.Time(tick*interval), idle).Skip {
+			issued++
+		}
+	}
+	if issued == 0 || e.IdleIssues == 0 {
+		t.Fatalf("idle system issued %d refreshes", issued)
+	}
+	if e.ForcedIssues != 0 {
+		t.Fatal("idle system should never need forcing")
+	}
+}
+
+// TestElasticConservesObligations: over a long horizon, issued commands
+// keep up with accrued obligations (retention safety).
+func TestElasticConservesObligations(t *testing.T) {
+	g := geo(t, 64)
+	e := NewElastic(g)
+	busy := &fakeQueue{perBank: make([]int, g.TotalBanks())}
+	for i := range busy.perBank {
+		busy.perBank[i] = 5
+	}
+	interval := e.Interval()
+	issued := uint64(0)
+	horizon := g.Timing.TREFW
+	for tick := uint64(1); tick*interval <= horizon; tick++ {
+		if !e.Next(sim.Time(tick*interval), busy).Skip {
+			issued++
+		}
+	}
+	accrued := horizon / g.Timing.TREFIab * uint64(g.Ranks)
+	if issued+uint64(maxPostponed+1)*uint64(g.Ranks) < accrued {
+		t.Fatalf("issued %d but accrued %d (beyond postponement slack)", issued, accrued)
+	}
+}
+
+func TestPausingGrantsWithinBudget(t *testing.T) {
+	g := geo(t, 64)
+	p := NewPausing(g)
+	// Fresh command on rank 0.
+	tgt := p.Next(0, nil)
+	if !tgt.AllBank {
+		t.Fatal("pausing issues rank-level refreshes")
+	}
+	r := tgt.Rank
+	for i := 0; i < maxPausesPerCmd; i++ {
+		if !p.RequestPause(0, r) {
+			t.Fatalf("pause %d refused within budget", i)
+		}
+		p.Paused(r, 500)
+	}
+	if p.RequestPause(0, r) {
+		t.Fatal("pause granted beyond budget")
+	}
+	if p.Pauses != maxPausesPerCmd {
+		t.Fatalf("pauses = %d", p.Pauses)
+	}
+}
+
+func TestPausingResumesRemainderFirst(t *testing.T) {
+	g := geo(t, 64)
+	p := NewPausing(g)
+	first := p.Next(0, nil)
+	p.Paused(first.Rank, 777)
+	resumed := p.Next(0, nil)
+	if !resumed.AllBank || resumed.Rank != first.Rank || resumed.Dur != 777 {
+		t.Fatalf("resume target = %+v", resumed)
+	}
+	if resumed.Rows != 0 {
+		t.Fatal("resume must not double-count rows")
+	}
+	if p.Resumes != 1 {
+		t.Fatalf("resumes = %d", p.Resumes)
+	}
+}
+
+func TestPausingPenaltyIsPrecharge(t *testing.T) {
+	g := geo(t, 64)
+	p := NewPausing(g)
+	if p.PausePenalty() != g.Timing.TRP {
+		t.Fatalf("penalty = %d", p.PausePenalty())
+	}
+}
+
+func TestRAIDRDecimatesToProfileRate(t *testing.T) {
+	g := geo(t, 64)
+	bins := DefaultRetentionBins()
+	r := NewRAIDR(g, RetentionBins{})
+	const ticks = 100000
+	for i := 0; i < ticks; i++ {
+		r.Next(0, nil)
+	}
+	rate := float64(r.Issued) / ticks
+	want := bins.RefreshRateFactor()
+	if rate < want-0.01 || rate > want+0.01 {
+		t.Fatalf("issue rate %v, profile demands %v", rate, want)
+	}
+	// RAIDR's headline: ~75% of refreshes eliminated.
+	if want > 0.30 {
+		t.Fatalf("default profile eliminates only %v", 1-want)
+	}
+}
+
+func TestRAIDRRotatesBanks(t *testing.T) {
+	g := geo(t, 64)
+	// All rows weak: factor 1, no decimation — pure rotation.
+	r := NewRAIDR(g, RetentionBins{OneWindow: 1})
+	for want := 0; want < g.TotalBanks(); want++ {
+		tgt := r.Next(0, nil)
+		if tgt.Skip || tgt.GlobalBank != want {
+			t.Fatalf("target %+v, want bank %d", tgt, want)
+		}
+	}
+}
+
+func TestRetentionBinsFactor(t *testing.T) {
+	b := RetentionBins{OneWindow: 0.5, TwoWindow: 0.5}
+	if f := b.RefreshRateFactor(); f != 0.75 {
+		t.Fatalf("factor = %v", f)
+	}
+}
+
+func TestNewBuildsExtensionPolicies(t *testing.T) {
+	g := geo(t, 64)
+	for _, p := range []config.RefreshPolicy{
+		config.RefreshElastic, config.RefreshPausing, config.RefreshRAIDR,
+	} {
+		s, err := New(p, g)
+		if err != nil {
+			t.Fatalf("New(%s): %v", p, err)
+		}
+		if s.Name() != string(p) {
+			t.Fatalf("name %q for policy %q", s.Name(), p)
+		}
+	}
+	// Pausing is the only Pauser.
+	if _, ok := mustNew(t, g, config.RefreshPausing).(Pauser); !ok {
+		t.Fatal("pausing policy does not implement Pauser")
+	}
+	if _, ok := mustNew(t, g, config.RefreshAllBank).(Pauser); ok {
+		t.Fatal("all-bank policy unexpectedly implements Pauser")
+	}
+}
+
+func mustNew(t *testing.T, g Geometry, p config.RefreshPolicy) Scheduler {
+	t.Helper()
+	s, err := New(p, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

@@ -1,0 +1,99 @@
+package refresh
+
+import "refsched/internal/sim"
+
+// Pauser is implemented by policies that support refresh pausing (Nair
+// et al., HPCA 2013). When a demand request targets a refreshing bank,
+// the memory controller asks RequestPause; if granted it aborts the
+// refresh (after a small re-precharge penalty) and reports the remaining
+// duration via Paused so the policy can reschedule it.
+type Pauser interface {
+	// RequestPause reports whether the in-progress refresh on rank may
+	// be paused now (policies refuse once the per-command pause budget
+	// is spent, so commands cannot fragment unboundedly).
+	RequestPause(now sim.Time, rank int) bool
+	// Paused records the paused remainder for the given rank.
+	Paused(rank int, remaining uint64)
+	// PausePenalty is the re-precharge cost charged to the bank when a
+	// refresh is aborted, in cycles.
+	PausePenalty() uint64
+}
+
+// maxPausesPerCmd bounds how often one refresh command may be
+// interrupted (real implementations have a handful of pause points).
+const maxPausesPerCmd = 4
+
+// Pausing is all-bank refresh with refresh pausing: a refresh in
+// progress yields to demand requests, and the remainder is reissued
+// when the rank goes idle — or immediately once the pause budget or the
+// postponement debt runs out.
+type Pausing struct {
+	g        Geometry
+	interval uint64
+	rows     uint64
+	dur      uint64
+
+	nextRank  int
+	remainder []uint64 // paused residue per rank, cycles
+	pauses    []int    // pauses used for the current command per rank
+
+	// Pauses counts granted pause events; Resumes counts remainder
+	// reissues.
+	Pauses  uint64
+	Resumes uint64
+}
+
+// NewPausing builds the policy.
+func NewPausing(g Geometry) *Pausing {
+	tm := g.Timing
+	cmds := tm.RefreshCmdsPerWindow()
+	return &Pausing{
+		g:         g,
+		interval:  tm.TREFIab / uint64(g.Ranks),
+		rows:      tm.RowsPerRefresh(cmds),
+		dur:       tm.TRFCab,
+		remainder: make([]uint64, g.Ranks),
+		pauses:    make([]int, g.Ranks),
+	}
+}
+
+// Name implements Scheduler.
+func (*Pausing) Name() string { return "pausing" }
+
+// Interval implements Scheduler.
+func (p *Pausing) Interval() uint64 { return p.interval }
+
+// Next implements Scheduler. Remainders take priority over new
+// commands; new commands rotate ranks as in plain all-bank refresh.
+func (p *Pausing) Next(now sim.Time, q QueueView) Target {
+	// Reissue the largest paused remainder first.
+	for r, rem := range p.remainder {
+		if rem == 0 {
+			continue
+		}
+		p.remainder[r] = 0
+		p.Resumes++
+		// Rows were credited when the original command issued.
+		return Target{AllBank: true, Rank: r, Rows: 0, Dur: rem}
+	}
+	r := p.nextRank
+	p.nextRank = (p.nextRank + 1) % p.g.Ranks
+	p.pauses[r] = 0
+	return Target{AllBank: true, Rank: r, Rows: p.rows, Dur: p.dur}
+}
+
+// RequestPause implements Pauser: grant while the rank's per-command
+// pause budget lasts.
+func (p *Pausing) RequestPause(_ sim.Time, rank int) bool {
+	return p.pauses[rank] < maxPausesPerCmd
+}
+
+// Paused implements Pauser.
+func (p *Pausing) Paused(rank int, remaining uint64) {
+	p.pauses[rank]++
+	p.remainder[rank] += remaining
+	p.Pauses++
+}
+
+// PausePenalty implements Pauser: a precharge before the demand access.
+func (p *Pausing) PausePenalty() uint64 { return p.g.Timing.TRP }

@@ -1,0 +1,67 @@
+package refresh
+
+import (
+	"testing"
+
+	"refsched/internal/config"
+	"refsched/internal/sim"
+)
+
+func TestPerBankSARotatesBanksThenSubarrays(t *testing.T) {
+	g := geo(t, 64)
+	g.Subarrays = 4
+	p := NewPerBankSA(g, 4)
+	total := g.TotalBanks()
+	// First sweep: every bank at subarray 0; second sweep: subarray 1.
+	for b := 0; b < total; b++ {
+		tgt := p.Next(0, nil)
+		if tgt.GlobalBank != b || tgt.Subarray != 0 || !tgt.SubarrayLevel {
+			t.Fatalf("sweep 0 target %+v, want bank %d sub 0", tgt, b)
+		}
+	}
+	tgt := p.Next(0, nil)
+	if tgt.GlobalBank != 0 || tgt.Subarray != 1 {
+		t.Fatalf("sweep 1 target %+v", tgt)
+	}
+}
+
+func TestPerBankSACoverage(t *testing.T) {
+	g := geo(t, 64)
+	g.Subarrays = 4
+	p := NewPerBankSA(g, 4)
+	interval := p.Interval()
+	rows := make([]uint64, g.TotalBanks())
+	for tick := uint64(0); tick*interval < g.Timing.TREFW; tick++ {
+		tgt := p.Next(sim.Time(tick*interval), nil)
+		rows[tgt.GlobalBank] += tgt.Rows
+	}
+	for b, r := range rows {
+		if r < g.Timing.RowsPerBank {
+			t.Errorf("bank %d covered %d rows per window, want >= %d", b, r, g.Timing.RowsPerBank)
+		}
+	}
+}
+
+func TestPerBankSAIntervalScales(t *testing.T) {
+	g := geo(t, 64)
+	pb := NewPerBankRR(g)
+	sa := NewPerBankSA(g, 8)
+	if sa.Interval() != pb.Interval()/8 {
+		t.Fatalf("SA interval %d, per-bank %d", sa.Interval(), pb.Interval())
+	}
+}
+
+func TestNewRequiresSubarrays(t *testing.T) {
+	g := geo(t, 64)
+	if _, err := New(config.RefreshPerBankSA, g); err == nil {
+		t.Fatal("perbanksa accepted without subarrays")
+	}
+	g.Subarrays = 8
+	s, err := New(config.RefreshPerBankSA, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "perbanksa" {
+		t.Fatalf("name = %q", s.Name())
+	}
+}

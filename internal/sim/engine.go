@@ -1,0 +1,116 @@
+// Package sim provides the discrete-event simulation kernel used by every
+// other subsystem: a global cycle clock, an event heap, and deterministic
+// pseudo-random streams.
+//
+// All simulated time is expressed in CPU cycles (uint64). Components
+// schedule closures to run at absolute or relative times; the engine
+// executes them in (time, insertion-order) order, so the simulation is
+// fully deterministic for a given configuration and seed.
+package sim
+
+import "container/heap"
+
+// Time is a point in simulated time, measured in CPU clock cycles.
+type Time = uint64
+
+// event is a scheduled closure.
+type event struct {
+	when Time
+	seq  uint64 // tie-breaker: FIFO among events at the same cycle
+	fn   func()
+}
+
+// eventHeap is a min-heap ordered by (when, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+
+	// Executed counts events processed since construction; useful for
+	// progress reporting and runaway detection in tests.
+	Executed uint64
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of scheduled, not-yet-executed events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after delay cycles (possibly zero, meaning "later this
+// cycle", after already-queued same-cycle events).
+func (e *Engine) Schedule(delay Time, fn func()) {
+	e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute time t. Scheduling in the past panics:
+// it always indicates a component bookkeeping bug.
+func (e *Engine) ScheduleAt(t Time, fn func()) {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	heap.Push(&e.events, event{when: t, seq: e.seq, fn: fn})
+}
+
+// Step executes the single earliest pending event and advances the clock
+// to its timestamp. It returns false when no events remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.when
+	e.Executed++
+	ev.fn()
+	return true
+}
+
+// RunUntil executes events until the clock would pass t, then sets the
+// clock to exactly t. Events scheduled at exactly t are executed.
+func (e *Engine) RunUntil(t Time) {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		if e.events[0].when > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Run executes events until none remain or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// Stop halts Run/RunUntil after the current event finishes.
+func (e *Engine) Stop() { e.stopped = true }

@@ -1,0 +1,56 @@
+package sim
+
+// Rand is a small, fast, deterministic pseudo-random stream
+// (xorshift64* — Vigna 2016). Every stochastic component owns its own
+// stream so that adding or removing a component never perturbs the
+// random sequence seen by the others.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a stream seeded with seed. A zero seed is remapped to a
+// fixed non-zero constant because xorshift has a zero fixed point.
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next value in the stream.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a value uniform in [0, n). n must be positive.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a value uniform in [0, n). n must be positive.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("sim: Uint64n with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a value uniform in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// Fork derives an independent stream from this one; used to hand each
+// sub-component its own reproducible sequence.
+func (r *Rand) Fork() *Rand { return NewRand(r.Uint64() | 1) }

@@ -1,0 +1,208 @@
+// Package stats provides the counters and summary statistics used across
+// the simulator: scalar counters, running means, histograms, and the
+// workload-level aggregates the paper reports (harmonic-mean IPC, average
+// memory access latency).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean accumulates a running mean without storing samples.
+type Mean struct {
+	n   uint64
+	sum float64
+}
+
+// Add records one sample.
+func (m *Mean) Add(v float64) { m.n++; m.sum += v }
+
+// AddN records a pre-aggregated batch of n samples summing to sum.
+func (m *Mean) AddN(n uint64, sum float64) { m.n += n; m.sum += sum }
+
+// Count returns the number of samples recorded.
+func (m *Mean) Count() uint64 { return m.n }
+
+// Sum returns the total of all samples.
+func (m *Mean) Sum() float64 { return m.sum }
+
+// Value returns the mean, or 0 for an empty accumulator.
+func (m *Mean) Value() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
+}
+
+// Histogram is a fixed-width-bucket latency histogram with an overflow
+// bucket; bucket i covers [i*Width, (i+1)*Width).
+type Histogram struct {
+	Width   uint64
+	buckets []uint64
+	over    uint64
+	n       uint64
+	sum     uint64
+	max     uint64
+}
+
+// NewHistogram returns a histogram with nbuckets buckets of the given width.
+func NewHistogram(width uint64, nbuckets int) *Histogram {
+	if width == 0 || nbuckets <= 0 {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{Width: width, buckets: make([]uint64, nbuckets)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v uint64) {
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	i := v / h.Width
+	if i >= uint64(len(h.buckets)) {
+		h.over++
+		return
+	}
+	h.buckets[i]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Mean returns the mean observation, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Max returns the largest observation seen.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Percentile returns an upper bound for the p-th percentile (0 < p <= 100)
+// at bucket resolution.
+func (h *Histogram) Percentile(p float64) uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p / 100 * float64(h.n)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			return uint64(i+1) * h.Width
+		}
+	}
+	return h.max
+}
+
+// HarmonicMean returns the harmonic mean of vs; zero or empty inputs
+// yield 0. The paper reports workload performance as the harmonic mean of
+// per-task IPC.
+func HarmonicMean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var inv float64
+	for _, v := range vs {
+		if v <= 0 {
+			return 0
+		}
+		inv += 1 / v
+	}
+	return float64(len(vs)) / inv
+}
+
+// GeoMean returns the geometric mean of vs (all must be positive).
+func GeoMean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var lg float64
+	for _, v := range vs {
+		if v <= 0 {
+			return 0
+		}
+		lg += math.Log(v)
+	}
+	return math.Exp(lg / float64(len(vs)))
+}
+
+// Table is a tiny fixed-column text-table formatter used by the
+// experiment harness to print paper-style rows.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddRowf appends a row formatting each value with %v, floats as %.3f.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// SortedKeys returns the keys of m in sorted order; convenience for
+// deterministic report printing.
+func SortedKeys(m map[string]float64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

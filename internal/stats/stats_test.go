@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+	m.Add(2)
+	m.Add(4)
+	m.Add(6)
+	if m.Value() != 4 || m.Count() != 3 || m.Sum() != 12 {
+		t.Fatalf("mean=%v count=%d sum=%v", m.Value(), m.Count(), m.Sum())
+	}
+	m.AddN(3, 12)
+	if m.Value() != 4 {
+		t.Fatalf("after AddN mean=%v, want 4", m.Value())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(10, 10)
+	for _, v := range []uint64{0, 5, 9, 10, 55, 99, 1000} {
+		h.Add(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	wantMean := float64(0+5+9+10+55+99+1000) / 7
+	if math.Abs(h.Mean()-wantMean) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", h.Mean(), wantMean)
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	h := NewHistogram(1, 1000)
+	for v := uint64(1); v <= 100; v++ {
+		h.Add(v)
+	}
+	if p := h.Percentile(50); p < 50 || p > 51 {
+		t.Fatalf("p50 = %d", p)
+	}
+	if p := h.Percentile(99); p < 99 || p > 100 {
+		t.Fatalf("p99 = %d", p)
+	}
+	if h.Percentile(100) < 100 {
+		t.Fatalf("p100 = %d", h.Percentile(100))
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram(10, 2) // covers [0,20)
+	h.Add(5)
+	h.Add(500)
+	if h.Percentile(100) != 500 {
+		t.Fatalf("overflow percentile = %d, want max 500", h.Percentile(100))
+	}
+}
+
+func TestHistogramPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero width")
+		}
+	}()
+	NewHistogram(0, 10)
+}
+
+func TestHarmonicMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{2, 2, 2}, 2},
+		{[]float64{1, 2}, 4.0 / 3},
+		{[]float64{1, 0}, 0}, // zero input defined as 0
+	}
+	for _, c := range cases {
+		if got := HarmonicMean(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("HarmonicMean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHarmonicLeGeoLeArith(t *testing.T) {
+	// HM <= GM <= AM for positive values.
+	f := func(raw []uint16) bool {
+		var vs []float64
+		for _, r := range raw {
+			vs = append(vs, float64(r)+1)
+		}
+		if len(vs) == 0 {
+			return true
+		}
+		hm, gm := HarmonicMean(vs), GeoMean(vs)
+		var am float64
+		for _, v := range vs {
+			am += v
+		}
+		am /= float64(len(vs))
+		const eps = 1e-9
+		return hm <= gm+eps && gm <= am+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("GeoMean(1,4) = %v", got)
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{0}) != 0 {
+		t.Fatal("degenerate geomeans should be 0")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := Table{Header: []string{"name", "value"}}
+	tb.AddRow("x", "1")
+	tb.AddRowf("longer-name", 3.14159)
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), s)
+	}
+	if !strings.Contains(lines[3], "3.142") {
+		t.Fatalf("float row not formatted: %q", lines[3])
+	}
+	// All rows align to the same width.
+	if len(lines[0]) != len(lines[1]) {
+		t.Fatalf("header and separator widths differ:\n%s", s)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]float64{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("SortedKeys = %v", got)
+	}
+}

@@ -1,0 +1,46 @@
+package trace
+
+import "refsched/internal/workload"
+
+// Gen replays a recorded request stream as a workload generator:
+// inter-arrival cycles become compute-instruction gaps (at an assumed
+// IPC of 1), and addresses are replayed verbatim. Replay loops forever,
+// restarting from the beginning with the same gaps, so it can drive
+// runs longer than the original capture.
+//
+// Replayed addresses were physical in the capture run; under replay
+// they are treated as virtual and re-mapped by the target system's
+// allocator, which preserves the stream's locality structure while
+// letting allocation policies differ.
+type Gen struct {
+	recs []Record
+	pos  int
+}
+
+// NewGen builds a replay generator; recs must be non-empty.
+func NewGen(recs []Record) *Gen {
+	if len(recs) == 0 {
+		panic("trace: replaying an empty trace")
+	}
+	return &Gen{recs: recs}
+}
+
+// Next implements workload.Generator.
+func (g *Gen) Next() (uint64, workload.Access) {
+	rec := g.recs[g.pos]
+	var gap uint64
+	if g.pos > 0 {
+		prev := g.recs[g.pos-1]
+		if rec.Cycle > prev.Cycle {
+			gap = rec.Cycle - prev.Cycle
+		}
+	}
+	g.pos++
+	if g.pos == len(g.recs) {
+		g.pos = 0
+	}
+	if gap == 0 {
+		gap = 1
+	}
+	return gap, workload.Access{VAddr: rec.Addr, Write: rec.Write}
+}

@@ -1,0 +1,150 @@
+// Package trace records and replays DRAM request streams. A Recorder
+// attached to the memory controllers captures every demand request
+// (issue cycle, physical address, read/write, owning task) in a compact
+// binary format; a Reader iterates a recorded stream; and
+// workload-style replay is provided by Gen, which converts a trace back
+// into a (compute, access) stream. Traces make experiments repeatable
+// across simulator changes and allow workload capture once, sweep many
+// times.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// magic identifies trace files; the version byte allows format
+// evolution.
+const magic = "RSTR"
+const version = 1
+
+// Record is one captured memory request.
+type Record struct {
+	// Cycle is the request's arrival cycle at the controller.
+	Cycle uint64
+	// Addr is the physical line address.
+	Addr uint64
+	// Write marks posted writes (write-backs).
+	Write bool
+	// TaskID is the owning task (-1 when unattributed).
+	TaskID int32
+}
+
+// recordSize is the on-disk encoding size: cycle(8) + addr(8) +
+// flags(1) + task(4).
+const recordSize = 21
+
+// Recorder streams records to a writer.
+type Recorder struct {
+	w     *bufio.Writer
+	n     uint64
+	wrote bool
+	err   error
+}
+
+// NewRecorder starts a trace on w, writing the header lazily on the
+// first record.
+func NewRecorder(w io.Writer) *Recorder {
+	return &Recorder{w: bufio.NewWriter(w)}
+}
+
+// Record appends one entry.
+func (r *Recorder) Record(rec Record) {
+	if r.err != nil {
+		return
+	}
+	if !r.wrote {
+		r.wrote = true
+		if _, err := r.w.WriteString(magic); err != nil {
+			r.err = err
+			return
+		}
+		r.err = r.w.WriteByte(version)
+		if r.err != nil {
+			return
+		}
+	}
+	var buf [recordSize]byte
+	binary.LittleEndian.PutUint64(buf[0:], rec.Cycle)
+	binary.LittleEndian.PutUint64(buf[8:], rec.Addr)
+	if rec.Write {
+		buf[16] = 1
+	}
+	binary.LittleEndian.PutUint32(buf[17:], uint32(rec.TaskID))
+	if _, err := r.w.Write(buf[:]); err != nil {
+		r.err = err
+		return
+	}
+	r.n++
+}
+
+// Count returns records written so far.
+func (r *Recorder) Count() uint64 { return r.n }
+
+// Flush drains buffered records and reports any accumulated error.
+func (r *Recorder) Flush() error {
+	if r.err != nil {
+		return r.err
+	}
+	return r.w.Flush()
+}
+
+// Reader iterates a recorded stream.
+type Reader struct {
+	r      *bufio.Reader
+	header bool
+}
+
+// NewReader wraps rd.
+func NewReader(rd io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(rd)}
+}
+
+// Next returns the next record, or io.EOF at the end.
+func (t *Reader) Next() (Record, error) {
+	if !t.header {
+		var hdr [5]byte
+		if _, err := io.ReadFull(t.r, hdr[:]); err != nil {
+			return Record{}, fmt.Errorf("trace: reading header: %w", err)
+		}
+		if string(hdr[:4]) != magic {
+			return Record{}, errors.New("trace: bad magic")
+		}
+		if hdr[4] != version {
+			return Record{}, fmt.Errorf("trace: unsupported version %d", hdr[4])
+		}
+		t.header = true
+	}
+	var buf [recordSize]byte
+	if _, err := io.ReadFull(t.r, buf[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("trace: reading record: %w", err)
+	}
+	return Record{
+		Cycle:  binary.LittleEndian.Uint64(buf[0:]),
+		Addr:   binary.LittleEndian.Uint64(buf[8:]),
+		Write:  buf[16] == 1,
+		TaskID: int32(binary.LittleEndian.Uint32(buf[17:])),
+	}, nil
+}
+
+// ReadAll slurps an entire trace.
+func ReadAll(rd io.Reader) ([]Record, error) {
+	t := NewReader(rd)
+	var out []Record
+	for {
+		rec, err := t.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

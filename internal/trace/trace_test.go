@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Cycle: 100, Addr: 0x1000, Write: false, TaskID: 0},
+		{Cycle: 150, Addr: 0x2040, Write: true, TaskID: 3},
+		{Cycle: 151, Addr: 0xFFFFFFFFFFC0, Write: false, TaskID: -1},
+	}
+	var buf bytes.Buffer
+	w := NewRecorder(&buf)
+	for _, r := range recs {
+		w.Record(r)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 3 {
+		t.Fatalf("count = %d", w.Count())
+	}
+
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records", len(got))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(cycles []uint32, addrs []uint32) bool {
+		n := len(cycles)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		if n == 0 {
+			return true
+		}
+		var in []Record
+		for i := 0; i < n; i++ {
+			in = append(in, Record{
+				Cycle: uint64(cycles[i]), Addr: uint64(addrs[i]) &^ 63,
+				Write: i%3 == 0, TaskID: int32(i % 7),
+			})
+		}
+		var buf bytes.Buffer
+		w := NewRecorder(&buf)
+		for _, r := range in {
+			w.Record(r)
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		out, err := ReadAll(&buf)
+		if err != nil || len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if in[i] != out[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadHeader(t *testing.T) {
+	_, err := ReadAll(bytes.NewBufferString("XXXX\x01garbagegarbagegarbage"))
+	if err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	_, err = ReadAll(bytes.NewBufferString("RSTR\x09"))
+	if err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewRecorder(&buf)
+	w.Record(Record{Cycle: 1})
+	w.Flush()
+	trunc := buf.Bytes()[:buf.Len()-3]
+	r := NewReader(bytes.NewReader(trunc))
+	if _, err := r.Next(); err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("truncated record gave err=%v", err)
+	}
+}
+
+func TestGenReplay(t *testing.T) {
+	recs := []Record{
+		{Cycle: 100, Addr: 0x1000},
+		{Cycle: 160, Addr: 0x2000, Write: true},
+		{Cycle: 200, Addr: 0x3000},
+	}
+	g := NewGen(recs)
+	i1, a1 := g.Next()
+	if a1.VAddr != 0x1000 || i1 != 1 {
+		t.Fatalf("first segment = %d %+v", i1, a1)
+	}
+	i2, a2 := g.Next()
+	if i2 != 60 || !a2.Write {
+		t.Fatalf("second segment = %d %+v", i2, a2)
+	}
+	i3, _ := g.Next()
+	if i3 != 40 {
+		t.Fatalf("third gap = %d", i3)
+	}
+	// Loops.
+	i4, a4 := g.Next()
+	if a4.VAddr != 0x1000 || i4 != 1 {
+		t.Fatalf("replay did not loop: %d %+v", i4, a4)
+	}
+}
+
+func TestGenPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty trace accepted")
+		}
+	}()
+	NewGen(nil)
+}

@@ -1,0 +1,212 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"refsched/internal/sim"
+)
+
+// Class is the paper's MPKI categorization: H (>10 misses per kilo
+// instruction), M (1–10), L (<1).
+type Class string
+
+// MPKI classes.
+const (
+	High   Class = "H"
+	Medium Class = "M"
+	Low    Class = "L"
+)
+
+// Benchmark describes one synthetic benchmark model.
+type Benchmark struct {
+	Name string
+	// Class is the paper's MPKI category for the benchmark.
+	Class Class
+	// Footprint is the resident memory footprint with reference inputs
+	// (the paper quotes mcf 1.7 GB, bwaves 920 MB, stream 800 MB,
+	// GemsFDTD 850 MB; others are published approximations).
+	Footprint uint64
+	// New builds the generator with a private random stream. The
+	// footprint may be overridden (scaled) by the caller.
+	New func(rnd *sim.Rand, footprint uint64) Generator
+}
+
+// benchmarks is the registry of modeled applications.
+var benchmarks = map[string]Benchmark{
+	// mcf: the highest-MPKI SPEC benchmark — pointer-chasing over a
+	// 1.7 GB network simplex arena with a modest hot set.
+	"mcf": {
+		Name: "mcf", Class: High, Footprint: 1700 * MB,
+		New: func(r *sim.Rand, fp uint64) Generator {
+			return NewIrregularGen(r, 20*1024, 0.30, 256*1024, fp, 3, 0.18, 0.5, 0.2)
+		},
+	},
+	// bwaves: blast-wave CFD — wide streaming sweeps, high MPKI.
+	"bwaves": {
+		Name: "bwaves", Class: High, Footprint: 920 * MB,
+		New: func(r *sim.Rand, fp uint64) Generator {
+			return NewStreamGen(r, fp, 4, 4, 8, 4)
+		},
+	},
+	// stream: the STREAM triad kernel — pure bandwidth, classified M
+	// by the paper's MPKI bands.
+	"stream": {
+		Name: "stream", Class: Medium, Footprint: 800 * MB,
+		New: func(r *sim.Rand, fp uint64) Generator {
+			return NewStreamGen(r, fp, 3, 16, 8, 3)
+		},
+	},
+	// GemsFDTD: finite-difference time domain solver — stencil sweeps
+	// over several field arrays, medium intensity.
+	"GemsFDTD": {
+		Name: "GemsFDTD", Class: Medium, Footprint: 850 * MB,
+		New: func(r *sim.Rand, fp uint64) Generator {
+			return NewStreamGen(r, fp, 6, 15, 8, 5)
+		},
+	},
+	// npb_ua: NAS Unstructured Adaptive — irregular refinement over a
+	// medium footprint.
+	"npb_ua": {
+		Name: "npb_ua", Class: Medium, Footprint: 480 * MB,
+		New: func(r *sim.Rand, fp uint64) Generator {
+			return NewIrregularGen(r, 16*1024, 0.55, 512*1024, fp, 5, 0.035, 0.3, 0.3)
+		},
+	},
+	// povray: ray tracing — cache-resident scene graph, almost no LLC
+	// misses.
+	"povray": {
+		Name: "povray", Class: Low, Footprint: 10 * MB,
+		New: func(r *sim.Rand, fp uint64) Generator {
+			return NewIrregularGen(r, 16*1024, 0.95, 192*1024, fp, 3, 0.0004, 0, 0.15)
+		},
+	},
+	// h264ref: video encoding — resident working set plus light
+	// reference-frame traffic.
+	"h264ref": {
+		Name: "h264ref", Class: Low, Footprint: 65 * MB,
+		New: func(r *sim.Rand, fp uint64) Generator {
+			return NewIrregularGen(r, 24*1024, 0.93, 384*1024, fp, 3, 0.0015, 0, 0.25)
+		},
+	},
+}
+
+// Register adds a user-defined benchmark model (e.g. a trace replay) to
+// the registry; the name must be unused.
+func Register(b Benchmark) error {
+	if b.Name == "" || b.New == nil {
+		return fmt.Errorf("workload: benchmark needs a name and a generator constructor")
+	}
+	if _, exists := benchmarks[b.Name]; exists {
+		return fmt.Errorf("workload: benchmark %q already registered", b.Name)
+	}
+	benchmarks[b.Name] = b
+	return nil
+}
+
+// Get returns the benchmark model by name.
+func Get(name string) (Benchmark, error) {
+	b, ok := benchmarks[name]
+	if !ok {
+		return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	return b, nil
+}
+
+// Names lists all modeled benchmarks, sorted.
+func Names() []string {
+	ns := make([]string, 0, len(benchmarks))
+	for n := range benchmarks {
+		ns = append(ns, n)
+	}
+	sort.Strings(ns)
+	return ns
+}
+
+// MixEntry is a benchmark repeated Count times within a workload mix.
+type MixEntry struct {
+	Bench string
+	Count int
+}
+
+// Mix is one multi-programmed workload (a Table 2 row).
+type Mix struct {
+	Name    string
+	Entries []MixEntry
+	// Classes is the paper's MPKI category annotation, e.g. "H+L".
+	Classes string
+}
+
+// Tasks expands the mix into an ordered benchmark list.
+func (m Mix) Tasks() ([]Benchmark, error) {
+	var out []Benchmark
+	for _, e := range m.Entries {
+		b, err := Get(e.Bench)
+		if err != nil {
+			return nil, fmt.Errorf("mix %s: %w", m.Name, err)
+		}
+		for i := 0; i < e.Count; i++ {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+// TotalTasks returns the number of tasks in the mix.
+func (m Mix) TotalTasks() int {
+	n := 0
+	for _, e := range m.Entries {
+		n += e.Count
+	}
+	return n
+}
+
+// Table2 returns the paper's ten dual-core (1:4 consolidation) workload
+// mixes.
+func Table2() []Mix {
+	return []Mix{
+		{Name: "WL-1", Classes: "H", Entries: []MixEntry{{"mcf", 8}}},
+		{Name: "WL-2", Classes: "L", Entries: []MixEntry{{"povray", 8}}},
+		{Name: "WL-3", Classes: "L", Entries: []MixEntry{{"h264ref", 8}}},
+		{Name: "WL-4", Classes: "L", Entries: []MixEntry{{"povray", 4}, {"h264ref", 4}}},
+		{Name: "WL-5", Classes: "M", Entries: []MixEntry{{"GemsFDTD", 8}}},
+		{Name: "WL-6", Classes: "H+L", Entries: []MixEntry{{"mcf", 4}, {"povray", 4}}},
+		{Name: "WL-7", Classes: "M+L", Entries: []MixEntry{{"stream", 4}, {"h264ref", 4}}},
+		{Name: "WL-8", Classes: "H+L", Entries: []MixEntry{{"bwaves", 4}, {"h264ref", 4}}},
+		{Name: "WL-9", Classes: "M+L", Entries: []MixEntry{{"npb_ua", 4}, {"povray", 4}}},
+		{Name: "WL-10", Classes: "H+L", Entries: []MixEntry{{"mcf", 4}, {"bwaves", 2}, {"povray", 2}}},
+	}
+}
+
+// MixFor builds a mix for an arbitrary core count and consolidation
+// ratio by tiling a Table 2 mix's entries to cores*ratio tasks; this is
+// what the sensitivity study (Figure 15) uses for quad-core and 1:2
+// setups.
+func MixFor(base Mix, cores, ratio int) Mix {
+	want := cores * ratio
+	have := base.TotalTasks()
+	out := Mix{Name: fmt.Sprintf("%s[%dc,1:%d]", base.Name, cores, ratio), Classes: base.Classes}
+	if have == 0 {
+		return out
+	}
+	// Flatten and tile.
+	var flat []string
+	for _, e := range base.Entries {
+		for i := 0; i < e.Count; i++ {
+			flat = append(flat, e.Bench)
+		}
+	}
+	counts := map[string]int{}
+	var order []string
+	for i := 0; i < want; i++ {
+		b := flat[i%len(flat)]
+		if counts[b] == 0 {
+			order = append(order, b)
+		}
+		counts[b]++
+	}
+	for _, b := range order {
+		out.Entries = append(out.Entries, MixEntry{Bench: b, Count: counts[b]})
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package workload
+
+import "refsched/internal/sim"
+
+// Additional SPEC CPU2006 models beyond the seven benchmarks that
+// appear in the paper's Table 2 mixes. They follow the same modelling
+// recipe (streaming vs tiered-irregular, calibrated to published
+// 2 MB-LLC MPKI characterizations) and make the library usable for
+// mixes beyond the paper's, including custom consolidation studies.
+func init() {
+	extra := []Benchmark{
+		// libquantum: quantum simulation — one wide sequential stream.
+		{
+			Name: "libquantum", Class: High, Footprint: 100 * MB,
+			New: func(r *sim.Rand, fp uint64) Generator {
+				return NewStreamGen(r, fp, 1, 5, 8, 8)
+			},
+		},
+		// lbm: lattice Boltzmann — paired streaming grids, write-heavy.
+		{
+			Name: "lbm", Class: High, Footprint: 410 * MB,
+			New: func(r *sim.Rand, fp uint64) Generator {
+				return NewStreamGen(r, fp, 2, 6, 8, 2)
+			},
+		},
+		// milc: lattice QCD — strided field sweeps.
+		{
+			Name: "milc", Class: High, Footprint: 680 * MB,
+			New: func(r *sim.Rand, fp uint64) Generator {
+				return NewStreamGen(r, fp, 4, 8, 8, 4)
+			},
+		},
+		// soplex: LP solver — sparse matrix traversal, irregular.
+		{
+			Name: "soplex", Class: High, Footprint: 440 * MB,
+			New: func(r *sim.Rand, fp uint64) Generator {
+				return NewIrregularGen(r, 24*1024, 0.5, 256*1024, fp, 4, 0.085, 0.25, 0.15)
+			},
+		},
+		// omnetpp: discrete-event simulation — pointer-heavy heap.
+		{
+			Name: "omnetpp", Class: Medium, Footprint: 170 * MB,
+			New: func(r *sim.Rand, fp uint64) Generator {
+				return NewIrregularGen(r, 24*1024, 0.55, 384*1024, fp, 4, 0.031, 0.5, 0.3)
+			},
+		},
+		// astar: path finding — graph walk over a medium arena.
+		{
+			Name: "astar", Class: Medium, Footprint: 330 * MB,
+			New: func(r *sim.Rand, fp uint64) Generator {
+				return NewIrregularGen(r, 24*1024, 0.6, 384*1024, fp, 4, 0.016, 0.6, 0.1)
+			},
+		},
+		// leslie3d: CFD stencils.
+		{
+			Name: "leslie3d", Class: Medium, Footprint: 130 * MB,
+			New: func(r *sim.Rand, fp uint64) Generator {
+				return NewStreamGen(r, fp, 5, 18, 8, 4)
+			},
+		},
+		// zeusmp: magnetohydrodynamics stencils.
+		{
+			Name: "zeusmp", Class: Medium, Footprint: 510 * MB,
+			New: func(r *sim.Rand, fp uint64) Generator {
+				return NewStreamGen(r, fp, 6, 25, 8, 5)
+			},
+		},
+		// sphinx3: speech recognition — acoustic model scans.
+		{
+			Name: "sphinx3", Class: Medium, Footprint: 45 * MB,
+			New: func(r *sim.Rand, fp uint64) Generator {
+				return NewStreamGen(r, fp, 2, 14, 8, 16)
+			},
+		},
+		// gcc: compilation — allocation-heavy, moderately irregular.
+		{
+			Name: "gcc", Class: Medium, Footprint: 900 * MB,
+			New: func(r *sim.Rand, fp uint64) Generator {
+				return NewIrregularGen(r, 32*1024, 0.7, 512*1024, fp, 4, 0.024, 0.3, 0.3)
+			},
+		},
+		// bzip2: block compression — resident block plus input stream.
+		{
+			Name: "bzip2", Class: Medium, Footprint: 870 * MB,
+			New: func(r *sim.Rand, fp uint64) Generator {
+				return NewIrregularGen(r, 32*1024, 0.75, 384*1024, fp, 4, 0.014, 0.1, 0.3)
+			},
+		},
+		// xalancbmk: XML transformation — DOM pointer chasing, mostly
+		// cache resident.
+		{
+			Name: "xalancbmk", Class: Medium, Footprint: 430 * MB,
+			New: func(r *sim.Rand, fp uint64) Generator {
+				return NewIrregularGen(r, 24*1024, 0.8, 512*1024, fp, 3, 0.0055, 0.6, 0.2)
+			},
+		},
+		// gobmk: game tree search — cache resident.
+		{
+			Name: "gobmk", Class: Low, Footprint: 30 * MB,
+			New: func(r *sim.Rand, fp uint64) Generator {
+				return NewIrregularGen(r, 16*1024, 0.9, 256*1024, fp, 3, 0.0012, 0.3, 0.2)
+			},
+		},
+		// hmmer: profile HMM search — tight resident tables.
+		{
+			Name: "hmmer", Class: Low, Footprint: 65 * MB,
+			New: func(r *sim.Rand, fp uint64) Generator {
+				return NewIrregularGen(r, 16*1024, 0.95, 128*1024, fp, 3, 0.0008, 0, 0.25)
+			},
+		},
+	}
+	for _, b := range extra {
+		benchmarks[b.Name] = b
+	}
+}

@@ -1,0 +1,164 @@
+// Package workload provides synthetic models of the SPEC CPU2006, STREAM
+// and NAS benchmarks the paper evaluates, plus the multi-programmed
+// workload mixes of Table 2.
+//
+// The evaluation depends on three per-benchmark traits: LLC miss
+// intensity (the paper's H/M/L MPKI classes), memory footprint, and
+// access regularity (streaming row-buffer-friendly vs irregular
+// pointer-chasing). Each model is an endless (compute, access) stream
+// generator calibrated — through the simulated cache hierarchy — to land
+// in the class the paper assigns it. Generators draw from private
+// deterministic random streams, so runs are exactly reproducible.
+package workload
+
+import "refsched/internal/sim"
+
+// Access is one memory reference in a task's stream.
+type Access struct {
+	VAddr uint64
+	Write bool
+	// Dependent marks a pointer-chase: the address was produced by the
+	// previous load, so the core must serialize on outstanding misses.
+	Dependent bool
+}
+
+// Generator produces an endless stream of (compute-instructions, access)
+// segments.
+type Generator interface {
+	Next() (instrs uint64, acc Access)
+}
+
+// jitter returns a value uniform in [base/2, 3*base/2), decorrelating
+// access arrivals from periodic machine events such as refresh ticks.
+func jitter(r *sim.Rand, base uint64) uint64 {
+	if base <= 1 {
+		return base
+	}
+	return base/2 + r.Uint64n(base)
+}
+
+// StreamGen models regular, bandwidth-bound code (STREAM, bwaves,
+// GemsFDTD, lbm): several concurrent sequential streams walking large
+// arrays with a fixed stride. Row-buffer locality is high and misses are
+// independent (prefetch-like MLP).
+type StreamGen struct {
+	rnd      *sim.Rand
+	memEvery uint64 // mean instructions between accesses
+	stride   uint64
+	// streams are contiguous regions walked round-robin, like the
+	// operand arrays of a vector kernel.
+	bases []uint64
+	sizes []uint64
+	pos   []uint64
+	next  int
+	// writeEvery makes every Nth access a store (0 = never).
+	writeEvery uint64
+	n          uint64
+}
+
+// NewStreamGen builds a multi-stream sequential generator over a
+// footprint split into nStreams equal arrays.
+func NewStreamGen(rnd *sim.Rand, footprint uint64, nStreams int, memEvery, stride, writeEvery uint64) *StreamGen {
+	if nStreams < 1 {
+		nStreams = 1
+	}
+	g := &StreamGen{
+		rnd:        rnd,
+		memEvery:   memEvery,
+		stride:     stride,
+		writeEvery: writeEvery,
+	}
+	per := footprint / uint64(nStreams)
+	if per < stride {
+		per = stride
+	}
+	for i := 0; i < nStreams; i++ {
+		g.bases = append(g.bases, heapBase+uint64(i)*per)
+		g.sizes = append(g.sizes, per)
+		g.pos = append(g.pos, 0)
+	}
+	return g
+}
+
+// Next implements Generator.
+func (g *StreamGen) Next() (uint64, Access) {
+	i := g.next
+	g.next = (g.next + 1) % len(g.bases)
+	addr := g.bases[i] + g.pos[i]
+	g.pos[i] += g.stride
+	if g.pos[i] >= g.sizes[i] {
+		g.pos[i] = 0
+	}
+	g.n++
+	w := g.writeEvery != 0 && g.n%g.writeEvery == 0
+	return jitter(g.rnd, g.memEvery), Access{VAddr: addr, Write: w}
+}
+
+// IrregularGen models codes with a tiered reuse profile: a small
+// L1-resident primary working set, a larger L2-resident hot set, and
+// irregular excursions into a large cold region (mcf, omnetpp, ua; with
+// a tiny cold fraction it also models compute-bound codes such as povray
+// and h264ref). Cold accesses are uniform over the cold region and may
+// be pointer-dependent.
+type IrregularGen struct {
+	rnd       *sim.Rand
+	memEvery  uint64
+	l1Bytes   uint64  // primary working set (L1-resident)
+	l1Frac    float64 // fraction of non-cold accesses hitting it
+	hotBytes  uint64  // secondary working set (L2-resident)
+	coldBytes uint64
+	coldFrac  float64
+	depFrac   float64 // fraction of cold accesses that are dependent
+	writeFrac float64
+}
+
+// NewIrregularGen builds an irregular generator. Non-cold accesses go to
+// a tiny l1Bytes region with probability l1Frac, else uniformly over the
+// hotBytes region; cold accesses go uniformly over coldBytes.
+func NewIrregularGen(rnd *sim.Rand, l1Bytes uint64, l1Frac float64, hotBytes, coldBytes uint64, memEvery uint64, coldFrac, depFrac, writeFrac float64) *IrregularGen {
+	if l1Bytes == 0 {
+		l1Bytes = 4096
+	}
+	if hotBytes < l1Bytes {
+		hotBytes = l1Bytes
+	}
+	if coldBytes == 0 {
+		coldBytes = hotBytes
+	}
+	return &IrregularGen{
+		rnd:       rnd,
+		memEvery:  memEvery,
+		l1Bytes:   l1Bytes,
+		l1Frac:    l1Frac,
+		hotBytes:  hotBytes,
+		coldBytes: coldBytes,
+		coldFrac:  coldFrac,
+		depFrac:   depFrac,
+		writeFrac: writeFrac,
+	}
+}
+
+// Next implements Generator.
+func (g *IrregularGen) Next() (uint64, Access) {
+	acc := Access{Write: g.rnd.Bool(g.writeFrac)}
+	switch {
+	case g.rnd.Bool(g.coldFrac):
+		// Align cold accesses to words within the cold region.
+		acc.VAddr = heapBase + g.hotBytes + g.rnd.Uint64n(g.coldBytes)&^7
+		acc.Dependent = g.rnd.Bool(g.depFrac)
+	case g.rnd.Bool(g.l1Frac):
+		acc.VAddr = heapBase + g.rnd.Uint64n(g.l1Bytes)&^7
+	default:
+		acc.VAddr = heapBase + g.rnd.Uint64n(g.hotBytes)&^7
+	}
+	return jitter(g.rnd, g.memEvery), acc
+}
+
+// heapBase offsets all virtual addresses so address zero stays invalid.
+const heapBase = 1 << 20
+
+// MB is a byte-count helper.
+const MB = 1 << 20
+
+// GB is a byte-count helper.
+const GB = 1 << 30

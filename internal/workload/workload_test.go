@@ -1,0 +1,221 @@
+package workload
+
+import (
+	"testing"
+
+	"refsched/internal/sim"
+)
+
+func TestStreamGenWalksSequentially(t *testing.T) {
+	g := NewStreamGen(sim.NewRand(1), 1<<20, 1, 10, 8, 0)
+	_, a0 := g.Next()
+	_, a1 := g.Next()
+	if a1.VAddr != a0.VAddr+8 {
+		t.Fatalf("stride broken: %#x -> %#x", a0.VAddr, a1.VAddr)
+	}
+	if a0.Dependent || a1.Dependent {
+		t.Fatal("stream accesses must be independent")
+	}
+}
+
+func TestStreamGenWrapsFootprint(t *testing.T) {
+	g := NewStreamGen(sim.NewRand(1), 1024, 1, 10, 8, 0)
+	lo, hi := ^uint64(0), uint64(0)
+	for i := 0; i < 1000; i++ {
+		_, a := g.Next()
+		if a.VAddr < lo {
+			lo = a.VAddr
+		}
+		if a.VAddr > hi {
+			hi = a.VAddr
+		}
+	}
+	if hi-lo >= 1024 {
+		t.Fatalf("addresses span %d bytes, footprint 1024", hi-lo+8)
+	}
+}
+
+func TestStreamGenMultiStreamRoundRobin(t *testing.T) {
+	g := NewStreamGen(sim.NewRand(1), 4<<20, 4, 10, 8, 0)
+	var bases []uint64
+	for i := 0; i < 4; i++ {
+		_, a := g.Next()
+		bases = append(bases, a.VAddr)
+	}
+	for i := 1; i < 4; i++ {
+		if bases[i] == bases[0] {
+			t.Fatal("streams not distinct")
+		}
+	}
+	// Fifth access returns to stream 0, advanced one stride.
+	_, a := g.Next()
+	if a.VAddr != bases[0]+8 {
+		t.Fatalf("round-robin broken: %#x", a.VAddr)
+	}
+}
+
+func TestStreamGenWriteRatio(t *testing.T) {
+	g := NewStreamGen(sim.NewRand(1), 1<<20, 1, 10, 8, 4)
+	writes := 0
+	for i := 0; i < 4000; i++ {
+		_, a := g.Next()
+		if a.Write {
+			writes++
+		}
+	}
+	if writes != 1000 {
+		t.Fatalf("writes = %d, want exactly every 4th", writes)
+	}
+}
+
+func TestIrregularGenRegions(t *testing.T) {
+	hot, cold := uint64(64<<10), uint64(16<<20)
+	g := NewIrregularGen(sim.NewRand(2), 8<<10, 0.5, hot, cold, 5, 0.3, 0.7, 0.2)
+	var coldN, depN, total int
+	for i := 0; i < 20000; i++ {
+		_, a := g.Next()
+		total++
+		if a.VAddr >= heapBase+hot {
+			coldN++
+			if a.Dependent {
+				depN++
+			}
+		} else if a.Dependent {
+			t.Fatal("hot access marked dependent")
+		}
+		if a.VAddr < heapBase || a.VAddr >= heapBase+hot+cold {
+			t.Fatalf("address %#x out of range", a.VAddr)
+		}
+	}
+	coldFrac := float64(coldN) / float64(total)
+	if coldFrac < 0.27 || coldFrac > 0.33 {
+		t.Fatalf("cold fraction = %v, want ~0.3", coldFrac)
+	}
+	depFrac := float64(depN) / float64(coldN)
+	if depFrac < 0.6 || depFrac > 0.8 {
+		t.Fatalf("dependent fraction = %v, want ~0.7", depFrac)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		b, _ := Get(name)
+		g1 := b.New(sim.NewRand(7), 8<<20)
+		g2 := b.New(sim.NewRand(7), 8<<20)
+		for i := 0; i < 1000; i++ {
+			i1, a1 := g1.Next()
+			i2, a2 := g2.Next()
+			if i1 != i2 || a1 != a2 {
+				t.Fatalf("%s: diverged at step %d", name, i)
+			}
+		}
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	r := sim.NewRand(3)
+	for i := 0; i < 10000; i++ {
+		v := jitter(r, 10)
+		if v < 5 || v >= 15 {
+			t.Fatalf("jitter(10) = %d", v)
+		}
+	}
+	if jitter(r, 1) != 1 || jitter(r, 0) != 0 {
+		t.Fatal("degenerate jitter wrong")
+	}
+}
+
+func TestGetAndNames(t *testing.T) {
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	names := Names()
+	if len(names) < 7 {
+		t.Fatalf("only %d benchmarks", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("Names not sorted")
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	mixes := Table2()
+	if len(mixes) != 10 {
+		t.Fatalf("%d mixes, want 10", len(mixes))
+	}
+	for _, m := range mixes {
+		if m.TotalTasks() != 8 {
+			t.Errorf("%s has %d tasks, want 8 (1:4 dual-core)", m.Name, m.TotalTasks())
+		}
+		tasks, err := m.Tasks()
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if len(tasks) != 8 {
+			t.Errorf("%s expanded to %d tasks", m.Name, len(tasks))
+		}
+	}
+	// Spot-check WL-10's composition.
+	wl10 := mixes[9]
+	if wl10.Name != "WL-10" || len(wl10.Entries) != 3 {
+		t.Fatalf("WL-10 = %+v", wl10)
+	}
+}
+
+func TestMixForTiling(t *testing.T) {
+	base := Table2()[5] // WL-6: mcf(4), povray(4)
+	m := MixFor(base, 4, 4)
+	if m.TotalTasks() != 16 {
+		t.Fatalf("tiled to %d tasks, want 16", m.TotalTasks())
+	}
+	counts := map[string]int{}
+	for _, e := range m.Entries {
+		counts[e.Bench] = e.Count
+	}
+	if counts["mcf"] != 8 || counts["povray"] != 8 {
+		t.Fatalf("tiling proportions = %v", counts)
+	}
+	down := MixFor(base, 2, 2)
+	if down.TotalTasks() != 4 {
+		t.Fatalf("down-tiled to %d", down.TotalTasks())
+	}
+}
+
+func TestSPECFootprintsTable(t *testing.T) {
+	if len(SPECFootprints) < 25 {
+		t.Fatalf("only %d footprint entries", len(SPECFootprints))
+	}
+	for _, fe := range SPECFootprints {
+		if fe.Footprint == 0 {
+			t.Errorf("%s has zero footprint", fe.Name)
+		}
+	}
+	// Paper-quoted values are exact.
+	exact := map[string]uint64{
+		"mcf": 1700 * MB, "bwaves": 920 * MB, "stream": 800 * MB, "GemsFDTD": 850 * MB,
+	}
+	for _, fe := range SPECFootprints {
+		if want, ok := exact[fe.Name]; ok && fe.Footprint != want {
+			t.Errorf("%s footprint %d, want %d", fe.Name, fe.Footprint, want)
+		}
+	}
+}
+
+func TestBenchmarkClassesMatchTable2(t *testing.T) {
+	want := map[string]Class{
+		"mcf": High, "bwaves": High,
+		"stream": Medium, "GemsFDTD": Medium, "npb_ua": Medium,
+		"povray": Low, "h264ref": Low,
+	}
+	for name, cls := range want {
+		b, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Class != cls {
+			t.Errorf("%s class = %s, want %s", name, b.Class, cls)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package refsched_test
+
+import (
+	"testing"
+
+	"refsched"
+)
+
+func TestPublicAPISmoke(t *testing.T) {
+	mix := refsched.Mix{
+		Name: "api-smoke",
+		Entries: []refsched.MixEntry{
+			{Bench: "mcf", Count: 2},
+			{Bench: "povray", Count: 2},
+		},
+	}
+	cfg := refsched.DefaultConfig(refsched.Density16Gb, 2048)
+	sys, err := refsched.NewSystemWithOptions(cfg, mix, refsched.Options{FootprintScale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.RunWindows(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HarmonicIPC <= 0 {
+		t.Fatal("no progress through public API")
+	}
+	if len(rep.Tasks) != 4 {
+		t.Fatalf("tasks = %d", len(rep.Tasks))
+	}
+}
+
+func TestCoDesignHelper(t *testing.T) {
+	cfg := refsched.CoDesign(refsched.DefaultConfig(refsched.Density32Gb, 64))
+	if cfg.Refresh.Policy != refsched.RefreshPerBankSeq {
+		t.Fatal("CoDesign did not select the sequential per-bank schedule")
+	}
+	if cfg.OS.Alloc != refsched.AllocSoftPartition || !cfg.OS.RefreshAware {
+		t.Fatal("CoDesign did not enable the OS side")
+	}
+	if cfg.OS.Scheduler != refsched.SchedCFS {
+		t.Fatal("CoDesign did not select CFS")
+	}
+}
+
+func TestHighTempHelper(t *testing.T) {
+	cfg := refsched.HighTemp(refsched.DefaultConfig(refsched.Density32Gb, 64))
+	if cfg.Refresh.TREFWms != 32 {
+		t.Fatal("HighTemp did not halve retention")
+	}
+}
+
+func TestTable2Exposed(t *testing.T) {
+	mixes := refsched.Table2()
+	if len(mixes) != 10 {
+		t.Fatalf("Table2 has %d mixes", len(mixes))
+	}
+}
+
+func TestBenchmarkLookup(t *testing.T) {
+	b, err := refsched.GetBenchmark("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name != "mcf" || b.Footprint == 0 {
+		t.Fatalf("benchmark = %+v", b)
+	}
+	if _, err := refsched.GetBenchmark("unknown"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if len(refsched.Benchmarks()) < 7 {
+		t.Fatal("too few modeled benchmarks")
+	}
+}
+
+func TestWindowExposed(t *testing.T) {
+	cfg := refsched.DefaultConfig(refsched.Density32Gb, 64)
+	sys, err := refsched.NewSystem(cfg, refsched.Table2()[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 ms / 64 at 3.2 GHz.
+	if sys.Window() != 3200000 {
+		t.Fatalf("Window = %d", sys.Window())
+	}
+}
+
+func TestWithRefreshHelper(t *testing.T) {
+	cfg := refsched.WithRefresh(refsched.DefaultConfig(refsched.Density32Gb, 64), refsched.RefreshOOOPerBank)
+	if cfg.Refresh.Policy != refsched.RefreshOOOPerBank {
+		t.Fatal("WithRefresh did not apply")
+	}
+}

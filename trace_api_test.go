@@ -1,0 +1,86 @@
+package refsched_test
+
+import (
+	"bytes"
+	"testing"
+
+	"refsched"
+)
+
+// TestTraceCaptureAndReplay exercises the full trace loop through the
+// public API: run a workload with a recorder attached, read the trace
+// back, register it as a replay benchmark, and run the replay.
+func TestTraceCaptureAndReplay(t *testing.T) {
+	mix := refsched.Mix{Name: "cap", Entries: []refsched.MixEntry{{Bench: "stream", Count: 2}}}
+	cfg := refsched.DefaultConfig(refsched.Density16Gb, 2048)
+	sys, err := refsched.NewSystemWithOptions(cfg, mix, refsched.Options{FootprintScale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rec, err := sys.AttachTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunWindows(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Count() == 0 {
+		t.Fatal("no requests captured")
+	}
+
+	recs, err := refsched.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(recs)) != rec.Count() {
+		t.Fatalf("read %d of %d records", len(recs), rec.Count())
+	}
+	// Cycles are nondecreasing per channel (single channel here).
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Cycle < recs[i-1].Cycle {
+			t.Fatalf("trace out of order at %d", i)
+		}
+	}
+
+	// Replay through a registered benchmark.
+	err = refsched.RegisterBenchmark(refsched.Benchmark{
+		Name:      "captured-stream",
+		Class:     "M",
+		Footprint: 1 << 24,
+		New: func(_ *refsched.Rand, _ uint64) refsched.Generator {
+			return refsched.ReplayGenerator(recs)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayMix := refsched.Mix{Name: "replay", Entries: []refsched.MixEntry{{Bench: "captured-stream", Count: 1}}}
+	sys2, err := refsched.NewSystemWithOptions(refsched.DefaultConfig(refsched.Density16Gb, 2048), replayMix,
+		refsched.Options{FootprintScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys2.RunWindows(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reads == 0 {
+		t.Fatal("replay produced no memory traffic")
+	}
+}
+
+func TestRegisterBenchmarkValidation(t *testing.T) {
+	if err := refsched.RegisterBenchmark(refsched.Benchmark{}); err == nil {
+		t.Fatal("empty benchmark accepted")
+	}
+	if err := refsched.RegisterBenchmark(refsched.Benchmark{
+		Name: "mcf",
+		New:  func(*refsched.Rand, uint64) refsched.Generator { return nil },
+	}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}
