@@ -1,0 +1,30 @@
+# Development targets. The simulation itself needs only the Go toolchain.
+
+GO ?= go
+
+.PHONY: build test short race bench bench-baseline
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+# The parallel experiment runner fans simulation cells out across
+# goroutines; run the full suite under the race detector after touching
+# the runner, the harness drivers, or anything they share.
+race:
+	$(GO) test -race -timeout 60m ./...
+
+# One regeneration per figure benchmark plus the substrate
+# microbenchmarks (allocs/op for the event-engine hot path).
+bench:
+	$(GO) test -bench . -benchtime=1x -run '^$$'
+
+# Record the perf baseline consumed by future revisions: per-figure
+# wall-clock and event-engine microbench numbers at the quick preset.
+bench-baseline:
+	$(GO) run ./cmd/experiments -quick -bench-json BENCH_baseline.json all

@@ -11,7 +11,9 @@
 package refsched_test
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"refsched"
 	"refsched/internal/cache"
@@ -264,7 +266,69 @@ func BenchmarkAblationBanksPerTask(b *testing.B) {
 	b.ReportMetric(six/four, "6banks/4banks")
 }
 
+// BenchmarkFig10Parallel measures the parallel sweep runner: one
+// serial (-j 1) and one all-CPUs Figure 10 regeneration per iteration,
+// reporting the wall-clock speedup. Results are identical at any -j
+// (see TestFig10ParallelDeterminism); only wall-clock changes, so the
+// speedup approaches min(NumCPU, cells) on unloaded multi-core hosts
+// and 1.0 on a single-core host.
+func BenchmarkFig10Parallel(b *testing.B) {
+	p := benchParams()
+	p.Mixes = []string{"WL-1", "WL-5", "WL-6", "WL-8"} // enough cells to fan out
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		p.Parallelism = 1
+		t0 := time.Now()
+		if _, _, err := harness.Fig10(p, false); err != nil {
+			b.Fatal(err)
+		}
+		serial := time.Since(t0)
+		p.Parallelism = runtime.NumCPU()
+		t0 = time.Now()
+		if _, _, err := harness.Fig10(p, false); err != nil {
+			b.Fatal(err)
+		}
+		parallel := time.Since(t0)
+		speedup = serial.Seconds() / parallel.Seconds()
+	}
+	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(float64(runtime.NumCPU()), "cpus")
+}
+
 // --- substrate microbenchmarks ---
+
+// BenchmarkEngineScheduleStep measures the event-engine hot path: one
+// heap-path schedule plus one step per iteration against a warm
+// 128-event population. The hand-rolled monomorphic heap must stay at
+// 0 allocs/op (container/heap's interface{} boxing paid ≥1 per event).
+func BenchmarkEngineScheduleStep(b *testing.B) {
+	e := sim.NewEngine()
+	e.Reserve(256)
+	fn := func() {}
+	for i := 0; i < 128; i++ {
+		e.Schedule(sim.Time(i%31)+1, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(sim.Time(i%31)+1, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineSameCycleFIFO measures the Schedule(0, fn) fast path:
+// same-cycle events bypass the heap entirely.
+func BenchmarkEngineSameCycleFIFO(b *testing.B) {
+	e := sim.NewEngine()
+	e.Reserve(16)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(0, fn)
+		e.Step()
+	}
+}
 
 // BenchmarkEngineEventThroughput measures raw event-heap throughput.
 func BenchmarkEngineEventThroughput(b *testing.B) {

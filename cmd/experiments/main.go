@@ -6,27 +6,37 @@
 //
 // With no arguments it runs everything at the default fidelity
 // (scale 64, full footprints, all ten mixes). -quick switches to a fast
-// preset for smoke runs.
+// preset for smoke runs. -j bounds the worker pool that runs a sweep's
+// independent simulation cells; results are identical at any -j, only
+// wall-clock time changes. -bench-json additionally records per-figure
+// wall-clock and event-engine microbenchmark numbers to a JSON file so
+// performance can be tracked across revisions.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"refsched/internal/harness"
+	"refsched/internal/runner"
+	"refsched/internal/sim"
 )
 
 func main() {
 	var (
-		quick   = flag.Bool("quick", false, "fast preset: larger time scale, fewer mixes, scaled footprints")
-		scale   = flag.Uint64("scale", 0, "override time-scale factor (0 = preset)")
-		mixes   = flag.String("mixes", "", "comma-separated mix subset, e.g. WL-1,WL-6 (empty = preset)")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		windows = flag.Int("windows", 0, "override measurement windows (0 = preset)")
-		verbose = flag.Bool("v", false, "print each run as it completes")
+		quick     = flag.Bool("quick", false, "fast preset: larger time scale, fewer mixes, scaled footprints")
+		scale     = flag.Uint64("scale", 0, "override time-scale factor (0 = preset)")
+		mixes     = flag.String("mixes", "", "comma-separated mix subset, e.g. WL-1,WL-6 (empty = preset)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		windows   = flag.Int("windows", 0, "override measurement windows (0 = preset)")
+		verbose   = flag.Bool("v", false, "print each run as it completes")
+		jobs      = flag.Int("j", 0, "parallel simulation cells (0 = all CPUs; results identical at any -j)")
+		benchJSON = flag.String("bench-json", "", "write per-figure wall-clock + engine microbench JSON to this file")
 	)
 	flag.Parse()
 
@@ -45,20 +55,28 @@ func main() {
 	}
 	p.Seed = *seed
 	p.Verbose = *verbose
+	p.Parallelism = *jobs
 
 	targets := flag.Args()
 	if len(targets) == 0 {
 		targets = []string{"all"}
 	}
 
+	bench := newBenchRecorder(*benchJSON, p)
 	start := time.Now()
 	for _, t := range targets {
+		t0 := time.Now()
 		if err := runTarget(t, p); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
+		bench.record(t, time.Since(t0))
 	}
 	fmt.Printf("total: %s\n", time.Since(start).Round(time.Second))
+	if err := bench.write(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 func runTarget(target string, p harness.Params) error {
@@ -134,4 +152,91 @@ func runTarget(target string, p harness.Params) error {
 		return fmt.Errorf("unknown target %q", target)
 	}
 	return nil
+}
+
+// benchRecorder accumulates the -bench-json perf baseline: wall-clock
+// per figure target plus event-engine microbenchmark numbers, so future
+// revisions have a trajectory to compare against.
+type benchRecorder struct {
+	path    string
+	entries []benchEntry
+	params  harness.Params
+}
+
+type benchEntry struct {
+	Target string  `json:"target"`
+	WallMS float64 `json:"wall_ms"`
+}
+
+type benchFile struct {
+	Parallelism int          `json:"parallelism"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Scale       uint64       `json:"scale"`
+	Engine      engineBench  `json:"engine"`
+	Targets     []benchEntry `json:"targets"`
+}
+
+type engineBench struct {
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+}
+
+func newBenchRecorder(path string, p harness.Params) *benchRecorder {
+	return &benchRecorder{path: path, params: p}
+}
+
+func (b *benchRecorder) record(target string, d time.Duration) {
+	if b.path == "" {
+		return
+	}
+	b.entries = append(b.entries, benchEntry{Target: target, WallMS: float64(d.Microseconds()) / 1000})
+}
+
+func (b *benchRecorder) write() error {
+	if b.path == "" {
+		return nil
+	}
+	out := benchFile{
+		Parallelism: runner.Parallelism(b.params.Parallelism),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Scale:       b.params.Scale,
+		Targets:     b.entries,
+	}
+	out.Engine = measureEngine()
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(b.path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", b.path)
+	return nil
+}
+
+// measureEngine hand-rolls the BenchmarkEngineScheduleStep measurement
+// (allocations and throughput of the event-heap hot path) without the
+// testing package, so the CLI can embed it in the baseline file.
+func measureEngine() engineBench {
+	const warm, n = 128, 2_000_000
+	e := sim.NewEngine()
+	e.Reserve(warm * 2)
+	fn := func() {}
+	for i := 0; i < warm; i++ {
+		e.Schedule(sim.Time(i%31)+1, fn)
+	}
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		e.Schedule(sim.Time(i%31)+1, fn)
+		e.Step()
+	}
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	return engineBench{
+		AllocsPerEvent: float64(m1.Mallocs-m0.Mallocs) / float64(n),
+		EventsPerSec:   float64(n) / wall.Seconds(),
+	}
 }

@@ -1,10 +1,14 @@
-// Command refsim runs a single simulation: one workload mix, one
-// density, one policy bundle, and prints the full report.
+// Command refsim runs single simulations: one or more workload mixes at
+// one density and policy bundle, printing the full report for each.
+// With several mixes (comma-separated) the runs execute in parallel
+// across -j workers; each run is deterministically seeded, so reports
+// are printed in mix order and identical at any -j.
 //
 // Examples:
 //
 //	refsim -mix WL-6 -density 32 -policy allbank
 //	refsim -mix WL-6 -density 32 -codesign -v
+//	refsim -mix WL-1,WL-5,WL-6 -codesign -j 4
 //	refsim -bench mcf,mcf,povray,povray -policy perbank -temp 95
 package main
 
@@ -15,11 +19,12 @@ import (
 	"strings"
 
 	"refsched"
+	"refsched/internal/runner"
 )
 
 func main() {
 	var (
-		mixName  = flag.String("mix", "WL-1", "Table 2 mix name")
+		mixNames = flag.String("mix", "WL-1", "Table 2 mix name, or a comma-separated list to run several")
 		benchCSV = flag.String("bench", "", "explicit benchmark list (overrides -mix), e.g. mcf,mcf,povray")
 		density  = flag.Int("density", 32, "DRAM density in Gb (8/16/24/32)")
 		policy   = flag.String("policy", "allbank", "refresh policy: none|allbank|perbank|perbankseq|oooperbank|fgr2x|fgr4x|adaptive")
@@ -30,10 +35,11 @@ func main() {
 		measure  = flag.Int("measure", 2, "measured retention windows")
 		fpScale  = flag.Float64("footprint-scale", 1.0, "footprint multiplier")
 		seed     = flag.Uint64("seed", 1, "random seed")
+		jobs     = flag.Int("j", 0, "parallel runs when several mixes are given (0 = all CPUs)")
 	)
 	flag.Parse()
 
-	mix, err := resolveMix(*mixName, *benchCSV)
+	mixes, err := resolveMixes(*mixNames, *benchCSV)
 	if err != nil {
 		fatal(err)
 	}
@@ -49,14 +55,24 @@ func main() {
 	}
 	cfg.Seed = *seed
 
-	sys, err := refsched.NewSystemWithOptions(cfg, mix, refsched.Options{FootprintScale: *fpScale})
+	// Each mix is an independent, deterministically-seeded simulation;
+	// fan out and print reports in mix order.
+	reps, err := runner.Map(*jobs, len(mixes), func(i int) (*refsched.Report, error) {
+		sys, err := refsched.NewSystemWithOptions(cfg, mixes[i], refsched.Options{FootprintScale: *fpScale})
+		if err != nil {
+			return nil, err
+		}
+		return sys.RunWindows(*warmup, *measure)
+	})
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := sys.RunWindows(*warmup, *measure)
-	if err != nil {
-		fatal(err)
+	for _, rep := range reps {
+		printReport(rep)
 	}
+}
+
+func printReport(rep *refsched.Report) {
 	fmt.Print(rep)
 	fmt.Printf("reads=%d writes=%d refreshCmds=%d refreshStalledReads=%d (%.2f%%)\n",
 		rep.Reads, rep.Writes, rep.RefreshCommands, rep.RefreshStalledReads, rep.RefreshStalledFrac*100)
@@ -67,24 +83,35 @@ func main() {
 		rep.AllocStats.CacheHits, rep.AllocStats.BuddyHits, rep.AllocStats.Stashed, rep.AllocStats.Fallbacks)
 }
 
-func resolveMix(name, benchCSV string) (refsched.Mix, error) {
+// resolveMixes parses -mix (possibly a comma-separated list) or -bench.
+func resolveMixes(names, benchCSV string) ([]refsched.Mix, error) {
 	if benchCSV != "" {
 		mix := refsched.Mix{Name: "custom"}
 		for _, b := range strings.Split(benchCSV, ",") {
 			b = strings.TrimSpace(b)
 			if _, err := refsched.GetBenchmark(b); err != nil {
-				return mix, err
+				return nil, err
 			}
 			mix.Entries = append(mix.Entries, refsched.MixEntry{Bench: b, Count: 1})
 		}
-		return mix, nil
+		return []refsched.Mix{mix}, nil
 	}
-	for _, m := range refsched.Table2() {
-		if m.Name == name {
-			return m, nil
+	var out []refsched.Mix
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, m := range refsched.Table2() {
+			if m.Name == name {
+				out = append(out, m)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown mix %q (want WL-1..WL-10)", name)
 		}
 	}
-	return refsched.Mix{}, fmt.Errorf("unknown mix %q (want WL-1..WL-10)", name)
+	return out, nil
 }
 
 func fatal(err error) {

@@ -75,17 +75,24 @@ type Report struct {
 	IdleQuanta     uint64
 	TotalQuanta    uint64
 	MeasuredCycles uint64
+
+	// Events is the number of discrete-event-engine events executed
+	// during the measurement interval. Two runs of the same cell are
+	// bit-identical iff this matches along with the metric fields, so
+	// the parallel-runner determinism tests assert on it.
+	Events uint64
 }
 
 // snapshot captures counters for later differencing.
 type snapshot struct {
-	tasks []cpu.TaskStats
-	mcs   []mc.Stats
-	banks []dram.BankStats
+	tasks  []cpu.TaskStats
+	mcs    []mc.Stats
+	banks  []dram.BankStats
+	events uint64
 }
 
 func (s *System) snapshot() snapshot {
-	var snap snapshot
+	snap := snapshot{events: s.Eng.Executed}
 	for _, t := range s.Kernel.Tasks() {
 		snap.tasks = append(snap.tasks, *t.Stats())
 	}
@@ -104,6 +111,7 @@ func (s *System) report(snap snapshot, measured uint64) *Report {
 		Policy:         string(s.Cfg.Refresh.Policy),
 		Density:        s.Cfg.Mem.Density.String(),
 		MeasuredCycles: measured,
+		Events:         s.Eng.Executed - snap.events,
 	}
 
 	var ipcs []float64

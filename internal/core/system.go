@@ -60,6 +60,10 @@ func Build(cfg config.System, mix workload.Mix, opt Options) (*System, error) {
 	}
 
 	s := &System{Cfg: cfg, Eng: sim.NewEngine(), Mix: mix}
+	// Pre-size the event queues for the steady-state population: each
+	// core keeps up to MLP misses in flight, each controller schedules
+	// per-queue-entry work, plus refresh/scheduler housekeeping.
+	s.Eng.Reserve(cfg.Cores*cfg.MLP + cfg.Mem.Channels*(cfg.Mem.ReadQueue+cfg.Mem.WriteQueue) + 64)
 	s.timing = dram.TimingFrom(&s.Cfg)
 
 	var err error

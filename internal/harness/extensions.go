@@ -5,6 +5,7 @@ import (
 
 	"refsched/internal/config"
 	"refsched/internal/core"
+	"refsched/internal/runner"
 )
 
 // Extensions runs the beyond-the-paper comparison (experiment "ext1"):
@@ -37,14 +38,27 @@ func Extensions(p Params) (*Result, error) {
 		{"codesign", bundleCoDesign, 0},
 	}
 
-	// All-bank baselines, one per mix.
-	base := map[string]*core.Report{}
-	for _, mix := range p.sweepMixes() {
-		rep, err := p.run(p.configFor(d, bundleAllBank, false), mix)
-		if err != nil {
-			return nil, err
+	// Enumerate every (entry, mix) cell — the all-bank entry doubles as
+	// the per-mix baseline — and fan out across the worker pool.
+	var jobs []cellJob
+	for _, e := range entries {
+		for _, mix := range p.sweepMixes() {
+			e, mix := e, mix
+			jobs = append(jobs, cellJob{
+				key: cellKey(e.name, mix.Name),
+				cell: runner.Cell{Mix: mix.Name, Density: d.String(),
+					Bundle: e.name, Seed: p.Seed},
+				run: func() (*core.Report, error) {
+					cfg := p.configFor(d, e.bundle, false)
+					cfg.Mem.SubarraysPerBank = e.subarrays
+					return p.run(cfg, mix)
+				},
+			})
 		}
-		base[mix.Name] = rep
+	}
+	reps, err := p.runCells(jobs)
+	if err != nil {
+		return nil, err
 	}
 
 	type cell struct {
@@ -54,20 +68,9 @@ func Extensions(p Params) (*Result, error) {
 	for _, e := range entries {
 		var gains, stalls, energies []float64
 		for _, mix := range p.sweepMixes() {
-			var rep *core.Report
-			if e.name == "allbank" {
-				rep = base[mix.Name]
-			} else {
-				cfg := p.configFor(d, e.bundle, false)
-				cfg.Mem.SubarraysPerBank = e.subarrays
-				var err error
-				rep, err = p.run(cfg, mix)
-				if err != nil {
-					return nil, err
-				}
-			}
+			rep := reps[cellKey(e.name, mix.Name)]
 			g := 0.0
-			if b := base[mix.Name].HarmonicIPC; b > 0 {
+			if b := reps[cellKey("allbank", mix.Name)].HarmonicIPC; b > 0 {
 				g = rep.HarmonicIPC/b - 1
 			}
 			gains = append(gains, g)

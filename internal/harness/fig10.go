@@ -15,21 +15,18 @@ var mainDensities = []config.Density{config.Density16Gb, config.Density24Gb, con
 // mainResults runs the Figure 10/11/13 experiment grid — every selected
 // mix × {16,24,32 Gb} × {all-bank, per-bank, co-design} — at the given
 // retention temperature, and returns the reports keyed by
-// (mix, density, bundle).
+// (mix, density, bundle). All cells run through the parallel sweep
+// runner.
 func (p Params) mainResults(highTemp bool) (map[string]*core.Report, error) {
-	out := map[string]*core.Report{}
+	var jobs []cellJob
 	for _, mix := range p.mixes() {
 		for _, d := range mainDensities {
 			for _, b := range []bundle{bundleAllBank, bundlePerBank, bundleCoDesign} {
-				rep, err := p.runBundle(d, b, highTemp, mix)
-				if err != nil {
-					return nil, err
-				}
-				out[key(mix.Name, d, b.name)] = rep
+				jobs = append(jobs, p.bundleJob(key(mix.Name, d, b.name), d, b, highTemp, mix))
 			}
 		}
 	}
-	return out, nil
+	return p.runCells(jobs)
 }
 
 func key(mix string, d config.Density, bundle string) string {

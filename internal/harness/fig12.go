@@ -15,24 +15,24 @@ func Fig12(p Params) (*Result, error) {
 	r.Table.Header = []string{"mix", "fgr2x", "fgr4x", "codesign"}
 	d := config.Density32Gb
 
+	bundles := []bundle{bundleAllBank, bundleFGR2x, bundleFGR4x, bundleCoDesign}
+	var jobs []cellJob
+	for _, mix := range p.mixes() {
+		for _, b := range bundles {
+			jobs = append(jobs, p.bundleJob(cellKey(mix.Name, b.name), d, b, false, mix))
+		}
+	}
+	reps, err := p.runCells(jobs)
+	if err != nil {
+		return nil, err
+	}
+
 	var g2, g4, gc []float64
 	for _, mix := range p.mixes() {
-		base, err := p.runBundle(d, bundleAllBank, false, mix)
-		if err != nil {
-			return nil, err
-		}
-		f2, err := p.runBundle(d, bundleFGR2x, false, mix)
-		if err != nil {
-			return nil, err
-		}
-		f4, err := p.runBundle(d, bundleFGR4x, false, mix)
-		if err != nil {
-			return nil, err
-		}
-		cd, err := p.runBundle(d, bundleCoDesign, false, mix)
-		if err != nil {
-			return nil, err
-		}
+		base := reps[cellKey(mix.Name, bundleAllBank.name)]
+		f2 := reps[cellKey(mix.Name, bundleFGR2x.name)]
+		f4 := reps[cellKey(mix.Name, bundleFGR4x.name)]
+		cd := reps[cellKey(mix.Name, bundleCoDesign.name)]
 		v2, v4, vc := 0.0, 0.0, 0.0
 		if base.HarmonicIPC > 0 {
 			v2 = f2.HarmonicIPC/base.HarmonicIPC - 1
@@ -60,18 +60,24 @@ func Fig14(p Params) (*Result, error) {
 	r.Table.Header = []string{"mix", "adaptive", "oooperbank", "perbank", "codesign"}
 	d := config.Density32Gb
 
+	compared := []bundle{bundleAdaptive, bundleOOO, bundlePerBank, bundleCoDesign}
+	var jobs []cellJob
+	for _, mix := range p.mixes() {
+		for _, b := range append([]bundle{bundleAllBank}, compared...) {
+			jobs = append(jobs, p.bundleJob(cellKey(mix.Name, b.name), d, b, false, mix))
+		}
+	}
+	reps, err := p.runCells(jobs)
+	if err != nil {
+		return nil, err
+	}
+
 	gains := map[string][]float64{}
 	for _, mix := range p.mixes() {
-		base, err := p.runBundle(d, bundleAllBank, false, mix)
-		if err != nil {
-			return nil, err
-		}
+		base := reps[cellKey(mix.Name, bundleAllBank.name)]
 		row := []string{mix.Name}
-		for _, b := range []bundle{bundleAdaptive, bundleOOO, bundlePerBank, bundleCoDesign} {
-			rep, err := p.runBundle(d, b, false, mix)
-			if err != nil {
-				return nil, err
-			}
+		for _, b := range compared {
+			rep := reps[cellKey(mix.Name, b.name)]
 			g := 0.0
 			if base.HarmonicIPC > 0 {
 				g = rep.HarmonicIPC/base.HarmonicIPC - 1

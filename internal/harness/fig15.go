@@ -5,6 +5,7 @@ import (
 
 	"refsched/internal/config"
 	"refsched/internal/core"
+	"refsched/internal/runner"
 	"refsched/internal/workload"
 )
 
@@ -38,25 +39,38 @@ func Fig15(p Params) (*Result, error) {
 		{"2cores-1:4-2dimm", 2, 4, 2, 6},
 	}
 
+	bundles := []bundle{bundleAllBank, bundlePerBank, bundleCoDesign}
+	var jobs []cellJob
+	for _, sc := range scenarios {
+		for _, d := range mainDensities {
+			for _, baseMix := range p.sweepMixes() {
+				mix := workload.MixFor(baseMix, sc.cores, sc.ratio)
+				for _, b := range bundles {
+					sc, d, b, mix := sc, d, b, mix
+					jobs = append(jobs, cellJob{
+						key: cellKey(sc.name, d.String(), baseMix.Name, b.name),
+						cell: runner.Cell{Mix: mix.Name, Density: d.String(),
+							Bundle: b.name, Seed: p.Seed},
+						run: func() (*core.Report, error) { return p.runScenario(d, b, sc, mix) },
+					})
+				}
+			}
+		}
+	}
+	reps, err := p.runCells(jobs)
+	if err != nil {
+		return nil, err
+	}
+
 	for _, sc := range scenarios {
 		pbRow := []string{sc.name, "perbank"}
 		cdRow := []string{sc.name, "codesign"}
 		for _, d := range mainDensities {
 			var gpb, gcd []float64
 			for _, baseMix := range p.sweepMixes() {
-				mix := workload.MixFor(baseMix, sc.cores, sc.ratio)
-				ab, err := p.runScenario(d, bundleAllBank, sc, mix)
-				if err != nil {
-					return nil, err
-				}
-				pb, err := p.runScenario(d, bundlePerBank, sc, mix)
-				if err != nil {
-					return nil, err
-				}
-				cd, err := p.runScenario(d, bundleCoDesign, sc, mix)
-				if err != nil {
-					return nil, err
-				}
+				ab := reps[cellKey(sc.name, d.String(), baseMix.Name, bundleAllBank.name)]
+				pb := reps[cellKey(sc.name, d.String(), baseMix.Name, bundlePerBank.name)]
+				cd := reps[cellKey(sc.name, d.String(), baseMix.Name, bundleCoDesign.name)]
 				if ab.HarmonicIPC > 0 {
 					gpb = append(gpb, pb.HarmonicIPC/ab.HarmonicIPC-1)
 					gcd = append(gcd, cd.HarmonicIPC/ab.HarmonicIPC-1)

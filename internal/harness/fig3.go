@@ -14,25 +14,36 @@ func Fig3(p Params) (*Result, error) {
 	}
 	r.Table.Header = []string{"density", "tREFW", "allbank-deg", "perbank-deg"}
 
-	for _, temp := range []struct {
+	temps := []struct {
 		name string
 		high bool
-	}{{"64ms", false}, {"32ms", true}} {
+	}{{"64ms", false}, {"32ms", true}}
+
+	// Enumerate every (temp, density, mix, bundle) cell up front and fan
+	// out across the worker pool.
+	var jobs []cellJob
+	for _, temp := range temps {
+		for _, d := range config.Densities {
+			for _, mix := range p.sweepMixes() {
+				for _, b := range []bundle{bundleNone, bundleAllBank, bundlePerBank} {
+					jobs = append(jobs, p.bundleJob(
+						cellKey(temp.name, d.String(), mix.Name, b.name), d, b, temp.high, mix))
+				}
+			}
+		}
+	}
+	reps, err := p.runCells(jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, temp := range temps {
 		for _, d := range config.Densities {
 			var degAB, degPB []float64
 			for _, mix := range p.sweepMixes() {
-				none, err := p.runBundle(d, bundleNone, temp.high, mix)
-				if err != nil {
-					return nil, err
-				}
-				ab, err := p.runBundle(d, bundleAllBank, temp.high, mix)
-				if err != nil {
-					return nil, err
-				}
-				pb, err := p.runBundle(d, bundlePerBank, temp.high, mix)
-				if err != nil {
-					return nil, err
-				}
+				none := reps[cellKey(temp.name, d.String(), mix.Name, bundleNone.name)]
+				ab := reps[cellKey(temp.name, d.String(), mix.Name, bundleAllBank.name)]
+				pb := reps[cellKey(temp.name, d.String(), mix.Name, bundlePerBank.name)]
 				if none.HarmonicIPC > 0 {
 					degAB = append(degAB, 1-ab.HarmonicIPC/none.HarmonicIPC)
 					degPB = append(degPB, 1-pb.HarmonicIPC/none.HarmonicIPC)

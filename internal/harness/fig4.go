@@ -1,9 +1,12 @@
 package harness
 
 import (
+	"fmt"
+
 	"refsched/internal/config"
 	"refsched/internal/core"
 	"refsched/internal/kernel/buddy"
+	"refsched/internal/runner"
 )
 
 // Fig4 regenerates Figure 4: the BLP-vs-tRFC trade-off. Each task is
@@ -20,33 +23,48 @@ func Fig4(p Params) (*Result, error) {
 	r.Table.Header = []string{"density", "1-bank", "2-banks", "4-banks", "8-banks(noref)"}
 
 	ks := []int{1, 2, 4, 8}
+
+	// Enumerate the all-bank baselines plus every k-bank confinement
+	// cell up front and fan out across the worker pool.
+	var jobs []cellJob
 	for _, d := range config.Densities {
-		// One all-bank baseline per (density, mix), shared by every k.
-		bases := map[string]float64{}
 		for _, mix := range p.sweepMixes() {
-			base, err := p.runBundle(d, bundleAllBank, false, mix)
-			if err != nil {
-				return nil, err
+			jobs = append(jobs,
+				p.bundleJob(cellKey("base", d.String(), mix.Name), d, bundleAllBank, false, mix))
+			for _, k := range ks {
+				d, mix, k := d, mix, k
+				jobs = append(jobs, cellJob{
+					key: cellKey("conf", d.String(), mix.Name, fmt.Sprint(k)),
+					cell: runner.Cell{Mix: mix.Name, Density: d.String(),
+						Bundle: fmt.Sprintf("confine%d", k), Seed: p.Seed},
+					run: func() (*core.Report, error) {
+						cfg := p.configFor(d, bundleNone, false)
+						sys, err := core.Build(cfg, mix, core.Options{FootprintScale: p.FootprintScale})
+						if err != nil {
+							return nil, err
+						}
+						if err := sys.SetTaskMasks(confineMasks(cfg, len(sys.Kernel.Tasks()), k)); err != nil {
+							return nil, err
+						}
+						return sys.RunWindows(p.WarmupWindows, p.MeasureWindows)
+					},
+				})
 			}
-			bases[mix.Name] = base.HarmonicIPC
 		}
+	}
+	reps, err := p.runCells(jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, d := range config.Densities {
 		row := []string{d.String()}
 		for _, k := range ks {
 			var ratios []float64
 			for _, mix := range p.sweepMixes() {
-				cfg := p.configFor(d, bundleNone, false)
-				sys, err := core.Build(cfg, mix, core.Options{FootprintScale: p.FootprintScale})
-				if err != nil {
-					return nil, err
-				}
-				if err := sys.SetTaskMasks(confineMasks(cfg, len(sys.Kernel.Tasks()), k)); err != nil {
-					return nil, err
-				}
-				rep, err := sys.RunWindows(p.WarmupWindows, p.MeasureWindows)
-				if err != nil {
-					return nil, err
-				}
-				if base := bases[mix.Name]; base > 0 {
+				base := reps[cellKey("base", d.String(), mix.Name)].HarmonicIPC
+				rep := reps[cellKey("conf", d.String(), mix.Name, fmt.Sprint(k))]
+				if base > 0 {
 					ratios = append(ratios, rep.HarmonicIPC/base)
 				}
 			}

@@ -6,6 +6,7 @@ import (
 	"refsched/internal/config"
 	"refsched/internal/dram"
 	"refsched/internal/kernel/buddy"
+	"refsched/internal/runner"
 	"refsched/internal/workload"
 )
 
@@ -25,28 +26,33 @@ func Fig5(p Params) (*Result, error) {
 		r.Table.Header = append(r.Table.Header, d.String())
 	}
 
-	type row struct {
-		name  string
-		cells []string
-	}
-	var rows []row
-	sums := make([]float64, len(config.Densities))
-
-	for _, fe := range workload.SPECFootprints {
-		rw := row{name: fe.Name}
-		rw.cells = append(rw.cells, byteSize(fe.Footprint))
-		for di, d := range config.Densities {
-			frac, err := singleBankFraction(d, fe.Footprint)
-			if err != nil {
-				return nil, err
+	// One cell per benchmark footprint, fanned out across the worker
+	// pool; each cell sweeps the densities for its footprint.
+	fracs, err := runner.Map(p.Parallelism, len(workload.SPECFootprints),
+		func(i int) ([]float64, error) {
+			fe := workload.SPECFootprints[i]
+			out := make([]float64, len(config.Densities))
+			for di, d := range config.Densities {
+				frac, err := singleBankFraction(d, fe.Footprint)
+				if err != nil {
+					return nil, err
+				}
+				out[di] = frac
 			}
-			rw.cells = append(rw.cells, pct(frac))
-			sums[di] += frac
-		}
-		rows = append(rows, rw)
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	for _, rw := range rows {
-		r.Table.AddRow(append([]string{rw.name}, rw.cells...)...)
+
+	sums := make([]float64, len(config.Densities))
+	for i, fe := range workload.SPECFootprints {
+		cells := []string{byteSize(fe.Footprint)}
+		for di := range config.Densities {
+			cells = append(cells, pct(fracs[i][di]))
+			sums[di] += fracs[i][di]
+		}
+		r.Table.AddRow(append([]string{fe.Name}, cells...)...)
 	}
 	avg := []string{"average", ""}
 	for di := range config.Densities {

@@ -38,6 +38,12 @@ type Params struct {
 	Seed uint64
 	// Verbose prints each run's one-line summary as it completes.
 	Verbose bool
+	// Parallelism bounds the worker pool that runs a sweep's
+	// independent simulation cells (0 = runtime.GOMAXPROCS). Every cell
+	// is deterministically seeded and results are collected in
+	// submission order, so rendered tables are identical at any
+	// setting; only wall-clock time changes.
+	Parallelism int
 }
 
 // DefaultParams is the full-fidelity configuration used for
@@ -141,7 +147,9 @@ func (p Params) configFor(d config.Density, b bundle, highTemp bool) config.Syst
 	return cfg
 }
 
-// run executes one configuration over one mix.
+// run executes one configuration over one mix. Verbose progress lines
+// are emitted by the sweep collector (see sweep.go), not here, so that
+// parallel workers never interleave output.
 func (p Params) run(cfg config.System, mix workload.Mix) (*core.Report, error) {
 	sys, err := core.Build(cfg, mix, core.Options{FootprintScale: p.FootprintScale})
 	if err != nil {
@@ -150,10 +158,6 @@ func (p Params) run(cfg config.System, mix workload.Mix) (*core.Report, error) {
 	rep, err := sys.RunWindows(p.WarmupWindows, p.MeasureWindows)
 	if err != nil {
 		return nil, err
-	}
-	if p.Verbose {
-		fmt.Printf("  ran %-6s %-5s %-10s hIPC=%.4f lat=%.0f stalled=%.4f\n",
-			mix.Name, cfg.Mem.Density, cfg.Refresh.Policy, rep.HarmonicIPC, rep.AvgMemLatency, rep.RefreshStalledFrac)
 	}
 	return rep, nil
 }

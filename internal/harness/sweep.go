@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"refsched/internal/config"
+	"refsched/internal/core"
+	"refsched/internal/runner"
+	"refsched/internal/workload"
+)
+
+// cellJob is one simulation cell of a figure sweep: an addressing key
+// the driver uses to look the report back up, the cell identity for
+// progress lines, and the self-contained closure that runs it.
+type cellJob struct {
+	key  string
+	cell runner.Cell
+	run  func() (*core.Report, error)
+}
+
+// cellKey joins a sweep cell's coordinates into a lookup key.
+func cellKey(parts ...string) string {
+	return strings.Join(parts, "|")
+}
+
+// bundleJob builds the common density × bundle × mix cell.
+func (p Params) bundleJob(key string, d config.Density, b bundle, highTemp bool, mix workload.Mix) cellJob {
+	return cellJob{
+		key:  key,
+		cell: runner.Cell{Mix: mix.Name, Density: d.String(), Bundle: b.name, Seed: p.Seed},
+		run:  func() (*core.Report, error) { return p.runBundle(d, b, highTemp, mix) },
+	}
+}
+
+// runCells executes a sweep's cells across Params.Parallelism workers
+// and returns the reports keyed by each job's key. Cells share no
+// mutable state and results are collected by submission index, so the
+// returned map is identical to a serial in-order run; Verbose lines go
+// through the runner's single collector goroutine and never interleave.
+func (p Params) runCells(jobs []cellJob) (map[string]*core.Report, error) {
+	rjobs := make([]runner.Job[*core.Report], len(jobs))
+	for i, j := range jobs {
+		rjobs[i] = runner.Job[*core.Report]{Cell: j.cell, Run: j.run}
+	}
+	var onDone func(runner.Cell, *core.Report)
+	if p.Verbose {
+		onDone = func(c runner.Cell, rep *core.Report) {
+			fmt.Printf("  ran %-6s %-5s %-10s hIPC=%.4f lat=%.0f stalled=%.4f\n",
+				c.Mix, c.Density, c.Bundle, rep.HarmonicIPC, rep.AvgMemLatency, rep.RefreshStalledFrac)
+		}
+	}
+	reps, err := runner.Run(rjobs, p.Parallelism, onDone)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*core.Report, len(jobs))
+	for i, j := range jobs {
+		out[j.key] = reps[i]
+	}
+	return out, nil
+}

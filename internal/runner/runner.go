@@ -1,0 +1,176 @@
+// Package runner executes the independent cells of an experiment sweep
+// across a bounded worker pool while preserving the exact results and
+// rendered output of a serial run.
+//
+// Every figure in the paper's evaluation is a grid of fully independent,
+// deterministically-seeded simulation cells (mix × density × policy
+// bundle). The harness enumerates a sweep's cells up front, hands them
+// to Run, and receives results in an index-addressed slice — so tables
+// built from the results are byte-identical to serial output regardless
+// of worker completion order. Progress callbacks are routed through a
+// single collector goroutine so verbose output never interleaves.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Cell identifies one independent simulation cell of a sweep grid: the
+// workload mix, device density, and policy bundle it simulates, plus
+// the seed that makes it reproducible in isolation. It is metadata for
+// progress lines and failure reports; fields that do not apply to a
+// given sweep may be left empty.
+type Cell struct {
+	Mix     string
+	Density string
+	Bundle  string
+	Seed    uint64
+}
+
+// String renders the cell compactly for progress and error text.
+func (c Cell) String() string {
+	return fmt.Sprintf("%s/%s/%s", c.Mix, c.Density, c.Bundle)
+}
+
+// Job couples a cell's identity with the closure that simulates it.
+// Run must be self-contained: it may not share mutable state with any
+// other job in the same batch.
+type Job[T any] struct {
+	Cell Cell
+	Run  func() (T, error)
+}
+
+// Parallelism normalizes a -j style setting: values <= 0 select
+// runtime.GOMAXPROCS(0).
+func Parallelism(j int) int {
+	if j <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return j
+}
+
+// Run executes jobs across at most parallelism workers (<= 0 meaning
+// GOMAXPROCS) and returns their results indexed identically to jobs.
+// onDone, if non-nil, is invoked once per successful job from a single
+// collector goroutine — in completion order, never concurrently — for
+// progress reporting.
+//
+// Determinism: each job runs exactly once with no shared state, so
+// results are independent of parallelism and completion order. On
+// failure the error of the lowest-indexed failed job is returned
+// (matching what a serial in-order run would report first) and
+// remaining unstarted jobs are skipped. A panicking job fails the
+// whole batch with the panic value wrapped in the cell's identity.
+func Run[T any](jobs []Job[T], parallelism int, onDone func(Cell, T)) ([]T, error) {
+	n := len(jobs)
+	results := make([]T, n)
+	if n == 0 {
+		return results, nil
+	}
+	workers := Parallelism(parallelism)
+	if workers > n {
+		workers = n
+	}
+
+	if workers == 1 {
+		// Serial fast path: no goroutines, in-order execution.
+		for i, j := range jobs {
+			v, err := j.Run()
+			if err != nil {
+				return nil, err
+			}
+			results[i] = v
+			if onDone != nil {
+				onDone(j.Cell, v)
+			}
+		}
+		return results, nil
+	}
+
+	errs := make([]error, n)
+	panics := make([]any, n)
+	var next atomic.Int64
+	next.Store(-1)
+	var bail atomic.Bool
+
+	// Collector goroutine: serializes progress callbacks. The buffer
+	// holds every possible completion so workers never block on it.
+	var doneCh chan int
+	var collectorDone chan struct{}
+	if onDone != nil {
+		doneCh = make(chan int, n)
+		collectorDone = make(chan struct{})
+		go func() {
+			defer close(collectorDone)
+			for i := range doneCh {
+				onDone(jobs[i].Cell, results[i])
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n || bail.Load() {
+					return
+				}
+				runOne(jobs, results, errs, panics, i, &bail)
+				if errs[i] == nil && panics[i] == nil && doneCh != nil {
+					doneCh <- i
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if doneCh != nil {
+		close(doneCh)
+		<-collectorDone
+	}
+
+	for i := range jobs {
+		if panics[i] != nil {
+			panic(fmt.Sprintf("runner: job %d (%s) panicked: %v", i, jobs[i].Cell, panics[i]))
+		}
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+	}
+	return results, nil
+}
+
+// runOne executes jobs[i], capturing errors and panics so one bad cell
+// fails the batch instead of crashing a worker goroutine.
+func runOne[T any](jobs []Job[T], results []T, errs []error, panics []any, i int, bail *atomic.Bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			panics[i] = p
+			bail.Store(true)
+		}
+	}()
+	v, err := jobs[i].Run()
+	if err != nil {
+		errs[i] = err
+		bail.Store(true)
+		return
+	}
+	results[i] = v
+}
+
+// Map runs fn(i) for every i in [0, n) across at most parallelism
+// workers and returns the results in index order — the plain-function
+// form of Run for sweeps without per-cell metadata.
+func Map[T any](parallelism, n int, fn func(i int) (T, error)) ([]T, error) {
+	jobs := make([]Job[T], n)
+	for i := range jobs {
+		i := i
+		jobs[i].Run = func() (T, error) { return fn(i) }
+	}
+	return Run(jobs, parallelism, nil)
+}

@@ -8,7 +8,7 @@
 // fully deterministic for a given configuration and seed.
 package sim
 
-import "container/heap"
+import "fmt"
 
 // Time is a point in simulated time, measured in CPU clock cycles.
 type Time = uint64
@@ -20,32 +20,32 @@ type event struct {
 	fn   func()
 }
 
-// eventHeap is a min-heap ordered by (when, seq).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+// eventLess orders events by (when, seq).
+func eventLess(a, b event) bool {
+	if a.when != b.when {
+		return a.when < b.when
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
+//
+// Internally events live in two structures: a hand-rolled binary
+// min-heap over a plain []event (monomorphic sift-up/sift-down — no
+// container/heap interface{} boxing, so the hot scheduling path is
+// allocation-free once the slices reach steady-state capacity), and a
+// FIFO of events due at the current cycle. Scheduling at the current
+// time appends to the FIFO directly; when the clock advances, all heap
+// events sharing the earliest timestamp are drained into the FIFO in
+// (when, seq) order. Execution order is therefore exactly the strict
+// (when, seq) order of the original container/heap implementation.
 type Engine struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
-	stopped bool
+	now      Time
+	seq      uint64
+	heap     []event // min-heap by (when, seq); invariant: every when > now
+	fifo     []event // events due at exactly now, in seq order
+	fifoHead int     // next unexecuted index into fifo
+	stopped  bool
 
 	// Executed counts events processed since construction; useful for
 	// progress reporting and runaway detection in tests.
@@ -59,11 +59,33 @@ func NewEngine() *Engine { return &Engine{} }
 func (e *Engine) Now() Time { return e.now }
 
 // Pending reports the number of scheduled, not-yet-executed events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.fifo) - e.fifoHead + len(e.heap) }
+
+// Reserve pre-sizes the internal event queues to hold at least n
+// pending events without reallocating, for hot scheduling loops whose
+// steady-state population is known up front.
+func (e *Engine) Reserve(n int) {
+	if cap(e.heap) < n {
+		h := make([]event, len(e.heap), n)
+		copy(h, e.heap)
+		e.heap = h
+	}
+	if cap(e.fifo) < n {
+		f := make([]event, len(e.fifo), n)
+		copy(f, e.fifo)
+		e.fifo = f
+	}
+}
 
 // Schedule runs fn after delay cycles (possibly zero, meaning "later this
 // cycle", after already-queued same-cycle events).
 func (e *Engine) Schedule(delay Time, fn func()) {
+	if delay == 0 {
+		// Same-cycle fast path: straight to the FIFO, no heap traffic.
+		e.seq++
+		e.fifo = append(e.fifo, event{when: e.now, seq: e.seq, fn: fn})
+		return
+	}
 	e.ScheduleAt(e.now+delay, fn)
 }
 
@@ -71,20 +93,103 @@ func (e *Engine) Schedule(delay Time, fn func()) {
 // it always indicates a component bookkeeping bug.
 func (e *Engine) ScheduleAt(t Time, fn func()) {
 	if t < e.now {
-		panic("sim: event scheduled in the past")
+		panic(fmt.Sprintf("sim: event scheduled in the past (t=%d, now=%d)", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{when: t, seq: e.seq, fn: fn})
+	ev := event{when: t, seq: e.seq, fn: fn}
+	if t == e.now {
+		e.fifo = append(e.fifo, ev)
+		return
+	}
+	e.push(ev)
+}
+
+// push inserts ev into the heap (sift-up).
+func (e *Engine) push(ev event) {
+	h := append(e.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.heap = h
+}
+
+// pop removes and returns the minimum event (sift-down).
+func (e *Engine) pop() event {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release the closure for GC
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && eventLess(h[r], h[l]) {
+			m = r
+		}
+		if !eventLess(h[m], h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	e.heap = h
+	return top
+}
+
+// refill advances the clock to the earliest heap timestamp and drains
+// every event due at that cycle into the FIFO, preserving seq order.
+// It reports whether any event became runnable.
+func (e *Engine) refill() bool {
+	e.fifo = e.fifo[:0]
+	e.fifoHead = 0
+	if len(e.heap) == 0 {
+		return false
+	}
+	t := e.heap[0].when
+	e.now = t
+	for len(e.heap) > 0 && e.heap[0].when == t {
+		e.fifo = append(e.fifo, e.pop())
+	}
+	return true
+}
+
+// nextTime returns the timestamp of the earliest pending event.
+func (e *Engine) nextTime() (Time, bool) {
+	if e.fifoHead < len(e.fifo) {
+		return e.now, true
+	}
+	if len(e.heap) > 0 {
+		return e.heap[0].when, true
+	}
+	return 0, false
 }
 
 // Step executes the single earliest pending event and advances the clock
 // to its timestamp. It returns false when no events remain.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	if e.fifoHead >= len(e.fifo) && !e.refill() {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
-	e.now = ev.when
+	ev := e.fifo[e.fifoHead]
+	e.fifo[e.fifoHead] = event{} // release the closure for GC
+	e.fifoHead++
+	if e.fifoHead == len(e.fifo) {
+		// Fully drained: rewind so same-cycle producer/consumer loops
+		// reuse the buffer instead of growing it without bound.
+		e.fifo = e.fifo[:0]
+		e.fifoHead = 0
+	}
 	e.Executed++
 	ev.fn()
 	return true
@@ -94,8 +199,9 @@ func (e *Engine) Step() bool {
 // clock to exactly t. Events scheduled at exactly t are executed.
 func (e *Engine) RunUntil(t Time) {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		if e.events[0].when > t {
+	for !e.stopped {
+		w, ok := e.nextTime()
+		if !ok || w > t {
 			break
 		}
 		e.Step()

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -100,13 +101,133 @@ func TestEnginePanicsOnPastEvent(t *testing.T) {
 	e := NewEngine()
 	e.Schedule(10, func() {
 		defer func() {
-			if recover() == nil {
+			p := recover()
+			if p == nil {
 				t.Error("scheduling in the past did not panic")
+				return
+			}
+			// The message must include both offending times for
+			// debuggability.
+			msg, ok := p.(string)
+			if !ok {
+				t.Errorf("panic value = %T, want string", p)
+				return
+			}
+			for _, want := range []string{"t=5", "now=10"} {
+				if !strings.Contains(msg, want) {
+					t.Errorf("panic message %q missing %q", msg, want)
+				}
 			}
 		}()
 		e.ScheduleAt(5, func() {})
 	})
 	e.Run()
+}
+
+func TestEngineSameCycleFastPathOrdering(t *testing.T) {
+	// Events scheduled with delay 0 (or at the current absolute time)
+	// take the FIFO fast path; they must still interleave correctly
+	// with heap events previously scheduled for the same cycle.
+	e := NewEngine()
+	var got []int
+	e.Schedule(10, func() {
+		got = append(got, 1)
+		e.Schedule(0, func() { got = append(got, 3) })     // fast path
+		e.ScheduleAt(e.Now(), func() { got = append(got, 4) }) // fast path via ScheduleAt
+	})
+	e.Schedule(10, func() { got = append(got, 2) }) // same cycle, scheduled earlier
+	e.Run()
+	want := []int{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineReserve(t *testing.T) {
+	e := NewEngine()
+	e.Reserve(64)
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.Schedule(Time(i%7)+1, fn)
+	}
+	if e.Pending() != 64 {
+		t.Fatalf("Pending = %d, want 64", e.Pending())
+	}
+	e.Run()
+	if e.Executed != 64 {
+		t.Fatalf("Executed = %d, want 64", e.Executed)
+	}
+	// Reserving after events exist must preserve them.
+	e.Schedule(1, fn)
+	e.Schedule(2, fn)
+	e.Reserve(1024)
+	e.Run()
+	if e.Executed != 66 {
+		t.Fatalf("Executed = %d, want 66", e.Executed)
+	}
+}
+
+func TestEngineScheduleIsAllocationFree(t *testing.T) {
+	// The hand-rolled heap must not box events: once the slices are at
+	// capacity, a schedule+step cycle performs zero allocations.
+	e := NewEngine()
+	e.Reserve(256)
+	fn := func() {}
+	for i := 0; i < 128; i++ {
+		e.Schedule(Time(i%31)+1, fn)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Schedule(Time(i%31)+1, fn)
+		e.Step()
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("allocs per schedule+step = %v, want 0", allocs)
+	}
+}
+
+func TestEngineMixedFastAndHeapPaths(t *testing.T) {
+	// Property check: a random mix of zero and nonzero delays executes
+	// in nondecreasing time order with FIFO ties, and every event runs.
+	r := NewRand(3)
+	e := NewEngine()
+	total := 0
+	var executed int
+	var lastWhen Time
+	var schedule func(depth int)
+	schedule = func(depth int) {
+		if depth > 3 {
+			return
+		}
+		n := r.Intn(4)
+		for i := 0; i < n; i++ {
+			total++
+			d := Time(r.Intn(3)) // 0 hits the fast path
+			e.Schedule(d, func() {
+				if e.Now() < lastWhen {
+					t.Errorf("clock went backwards: %d after %d", e.Now(), lastWhen)
+				}
+				lastWhen = e.Now()
+				executed++
+				schedule(depth + 1)
+			})
+		}
+	}
+	total++
+	e.Schedule(1, func() { executed++; schedule(0) })
+	e.Run()
+	if executed != total {
+		t.Fatalf("executed %d of %d events", executed, total)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after Run", e.Pending())
+	}
 }
 
 func TestEngineStepReturnsFalseWhenEmpty(t *testing.T) {
