@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test short race bench bench-baseline
+.PHONY: build test short race bench bench-baseline ci
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,16 @@ short:
 # the runner, the harness drivers, or anything they share.
 race:
 	$(GO) test -race -timeout 60m ./...
+
+# The merge gate: build, vet, the short test suite, then the race
+# detector over the concurrency-bearing packages (the worker pool, the
+# fault injector, the journal, and the event engine — which also guards
+# the hot path's 0 allocs/op via TestEngineScheduleIsAllocationFree).
+ci:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -short ./...
+	$(GO) test -race -timeout 10m ./internal/runner/ ./internal/chaos/ ./internal/journal/ ./internal/sim/
 
 # One regeneration per figure benchmark plus the substrate
 # microbenchmarks (allocs/op for the event-engine hot path).

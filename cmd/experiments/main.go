@@ -11,17 +11,32 @@
 // wall-clock time changes. -bench-json additionally records per-figure
 // wall-clock and event-engine microbenchmark numbers to a JSON file so
 // performance can be tracked across revisions.
+//
+// Failure semantics are those of a real job scheduler. A failing or
+// panicking cell is quarantined into the figure's failure-summary table
+// and the rest of the sweep completes (the process then exits 3);
+// -failfast restores abort-on-first-error. With -journal DIR every
+// completed cell is persisted atomically as it finishes, and -resume
+// skips cells already on record — after a crash or Ctrl-C, rerunning
+// with -resume finishes the remainder and renders output byte-identical
+// to an uninterrupted run. SIGINT cancels gracefully: in-flight cells
+// finish and are journaled, the rest are skipped. The -chaos-* flags
+// deterministically inject faults for failure drills.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 	"time"
 
+	"refsched/internal/chaos"
 	"refsched/internal/harness"
 	"refsched/internal/runner"
 	"refsched/internal/sim"
@@ -37,6 +52,15 @@ func main() {
 		verbose   = flag.Bool("v", false, "print each run as it completes")
 		jobs      = flag.Int("j", 0, "parallel simulation cells (0 = all CPUs; results identical at any -j)")
 		benchJSON = flag.String("bench-json", "", "write per-figure wall-clock + engine microbench JSON to this file")
+
+		failfast   = flag.Bool("failfast", false, "abort a sweep on its first failed cell instead of quarantining it")
+		retries    = flag.Int("retries", 0, "max identical-seed retries for transient cell errors (0 = default, <0 = off)")
+		journalDir = flag.String("journal", "", "directory for per-figure completed-cell journals (empty = no journaling)")
+		resume     = flag.Bool("resume", false, "skip cells already recorded in the journal (requires -journal)")
+
+		chaosFrac = flag.Float64("chaos-frac", 0, "inject faults into this fraction of cells (failure drills)")
+		chaosSeed = flag.Uint64("chaos-seed", 1, "seed for deterministic fault placement")
+		chaosMode = flag.String("chaos-mode", "transient", "fault shape: transient|error|panic|stall|mixed")
 	)
 	flag.Parse()
 
@@ -56,6 +80,34 @@ func main() {
 	p.Seed = *seed
 	p.Verbose = *verbose
 	p.Parallelism = *jobs
+	p.FailFast = *failfast
+	p.Retries = *retries
+	p.JournalDir = *journalDir
+	p.Resume = *resume
+	if *resume && *journalDir == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -resume requires -journal DIR")
+		os.Exit(2)
+	}
+	if *journalDir != "" {
+		if err := os.MkdirAll(*journalDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *chaosFrac > 0 {
+		mode, err := chaos.ParseMode(*chaosMode)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+		p.Chaos = chaos.New(chaos.Config{Seed: *chaosSeed, Frac: *chaosFrac, Mode: mode})
+	}
+
+	// SIGINT cancels gracefully: in-flight cells finish (and are
+	// journaled); a second SIGINT kills the process the hard way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	p.Ctx = ctx
 
 	targets := flag.Args()
 	if len(targets) == 0 {
@@ -64,9 +116,19 @@ func main() {
 
 	bench := newBenchRecorder(*benchJSON, p)
 	start := time.Now()
+	quarantined := 0
 	for _, t := range targets {
 		t0 := time.Now()
-		if err := runTarget(t, p); err != nil {
+		n, err := runTarget(t, p)
+		quarantined += n
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "experiments: interrupted: %v\n", err)
+				if *journalDir != "" {
+					fmt.Fprintf(os.Stderr, "experiments: completed cells are journaled in %s; rerun with -resume to finish\n", *journalDir)
+				}
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
@@ -77,11 +139,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
+	if quarantined > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d cell(s) quarantined; see the failure-summary tables above\n", quarantined)
+		os.Exit(3)
+	}
 }
 
-func runTarget(target string, p harness.Params) error {
+// runTarget runs one CLI target and returns how many of its sweep cells
+// were quarantined.
+func runTarget(target string, p harness.Params) (int, error) {
+	quarantined := 0
 	emit := func(rs ...*harness.Result) {
 		for _, r := range rs {
+			quarantined += len(r.Failed)
 			fmt.Println(r)
 		}
 	}
@@ -89,7 +159,7 @@ func runTarget(target string, p harness.Params) error {
 	case "all":
 		rs, err := harness.All(p)
 		emit(rs...)
-		return err
+		return quarantined, err
 	case "table1":
 		emit(harness.Table1(p))
 	case "table2":
@@ -97,61 +167,61 @@ func runTarget(target string, p harness.Params) error {
 	case "fig3":
 		r, err := harness.Fig3(p)
 		if err != nil {
-			return err
+			return quarantined, err
 		}
 		emit(r)
 	case "fig4":
 		r, err := harness.Fig4(p)
 		if err != nil {
-			return err
+			return quarantined, err
 		}
 		emit(r)
 	case "fig5":
 		r, err := harness.Fig5(p)
 		if err != nil {
-			return err
+			return quarantined, err
 		}
 		emit(r)
 	case "fig10", "fig11":
 		r10, r11, err := harness.Fig10(p, false)
 		if err != nil {
-			return err
+			return quarantined, err
 		}
 		emit(r10, r11)
 	case "fig12":
 		r, err := harness.Fig12(p)
 		if err != nil {
-			return err
+			return quarantined, err
 		}
 		emit(r)
 	case "fig13":
 		r13, r13lat, err := harness.Fig10(p, true)
 		if err != nil {
-			return err
+			return quarantined, err
 		}
 		emit(r13, r13lat)
 	case "fig14":
 		r, err := harness.Fig14(p)
 		if err != nil {
-			return err
+			return quarantined, err
 		}
 		emit(r)
 	case "fig15":
 		r, err := harness.Fig15(p)
 		if err != nil {
-			return err
+			return quarantined, err
 		}
 		emit(r)
 	case "ext1", "extensions":
 		r, err := harness.Extensions(p)
 		if err != nil {
-			return err
+			return quarantined, err
 		}
 		emit(r)
 	default:
-		return fmt.Errorf("unknown target %q", target)
+		return 0, fmt.Errorf("unknown target %q", target)
 	}
-	return nil
+	return quarantined, nil
 }
 
 // benchRecorder accumulates the -bench-json perf baseline: wall-clock

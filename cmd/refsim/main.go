@@ -10,15 +10,26 @@
 //	refsim -mix WL-6 -density 32 -codesign -v
 //	refsim -mix WL-1,WL-5,WL-6 -codesign -j 4
 //	refsim -bench mcf,mcf,povray,povray -policy perbank -temp 95
+//
+// A failing run is quarantined (reported, the other mixes still
+// complete, exit 3) unless -failfast is given. -journal FILE persists
+// each completed run atomically; -resume skips runs already on record,
+// so an interrupted multi-mix invocation can be finished later with
+// identical output. SIGINT cancels gracefully: in-flight runs finish
+// and are journaled.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"refsched"
+	"refsched/internal/journal"
 	"refsched/internal/runner"
 )
 
@@ -36,8 +47,17 @@ func main() {
 		fpScale  = flag.Float64("footprint-scale", 1.0, "footprint multiplier")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		jobs     = flag.Int("j", 0, "parallel runs when several mixes are given (0 = all CPUs)")
+
+		failfast    = flag.Bool("failfast", false, "abort on the first failed run instead of quarantining it")
+		retries     = flag.Int("retries", 2, "max identical-seed retries for transient errors (<0 = off)")
+		journalPath = flag.String("journal", "", "journal file for completed runs (empty = no journaling)")
+		resume      = flag.Bool("resume", false, "skip runs already recorded in the journal (requires -journal)")
 	)
 	flag.Parse()
+
+	if *resume && *journalPath == "" {
+		fatal(errors.New("-resume requires -journal FILE"))
+	}
 
 	mixes, err := resolveMixes(*mixNames, *benchCSV)
 	if err != nil {
@@ -55,20 +75,75 @@ func main() {
 	}
 	cfg.Seed = *seed
 
-	// Each mix is an independent, deterministically-seeded simulation;
-	// fan out and print reports in mix order.
-	reps, err := runner.Map(*jobs, len(mixes), func(i int) (*refsched.Report, error) {
-		sys, err := refsched.NewSystemWithOptions(cfg, mixes[i], refsched.Options{FootprintScale: *fpScale})
+	// The journal fingerprint covers every flag that changes a report, so
+	// a stale journal from a different configuration is never resumed.
+	var jnl *journal.Journal
+	if *journalPath != "" {
+		fp := fmt.Sprintf("v1 density=%d policy=%s codesign=%t hot=%t scale=%d warm=%d meas=%d fp=%g seed=%d bench=%q",
+			*density, *policy, *codesign, *hot, *scale, *warmup, *measure, *fpScale, *seed, *benchCSV)
+		jnl, err = journal.Open(*journalPath, fp)
 		if err != nil {
-			return nil, err
+			fatal(err)
 		}
-		return sys.RunWindows(*warmup, *measure)
-	})
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// Each mix is an independent, deterministically-seeded simulation;
+	// fan out and print reports in mix order. Runs may repeat a mix, so
+	// journal keys carry the slot index.
+	key := func(i int) string { return fmt.Sprintf("%d|%s", i, mixes[i].Name) }
+	runJobs := make([]runner.Job[*refsched.Report], len(mixes))
+	for i := range mixes {
+		i := i
+		runJobs[i] = runner.Job[*refsched.Report]{
+			Cell: runner.Cell{Mix: mixes[i].Name, Density: fmt.Sprintf("%dGb", *density), Bundle: *policy, Seed: *seed},
+			Run: func() (*refsched.Report, error) {
+				if *resume && jnl != nil {
+					var rep refsched.Report
+					if jnl.Lookup(key(i), &rep) {
+						return &rep, nil
+					}
+				}
+				sys, err := refsched.NewSystemWithOptions(cfg, mixes[i], refsched.Options{FootprintScale: *fpScale})
+				if err != nil {
+					return nil, err
+				}
+				return sys.RunWindows(*warmup, *measure)
+			},
+		}
+	}
+	opts := runner.Options[*refsched.Report]{
+		Parallelism: *jobs,
+		FailFast:    *failfast,
+		Retries:     *retries,
+	}
+	if jnl != nil {
+		opts.OnDone = func(i int, _ runner.Cell, rep *refsched.Report) {
+			if err := jnl.Record(key(i), rep); err != nil {
+				fmt.Fprintf(os.Stderr, "refsim: journal: %v\n", err)
+			}
+		}
+	}
+	batch, err := runner.RunBatch(ctx, runJobs, opts)
 	if err != nil {
+		if errors.Is(err, context.Canceled) && jnl != nil {
+			fmt.Fprintf(os.Stderr, "refsim: interrupted; completed runs are journaled in %s — rerun with -resume to finish\n", *journalPath)
+			os.Exit(130)
+		}
 		fatal(err)
 	}
-	for _, rep := range reps {
-		printReport(rep)
+	for i, rep := range batch.Results {
+		if batch.OK[i] {
+			printReport(rep)
+		}
+	}
+	if len(batch.Failed) > 0 {
+		for _, ce := range batch.Failed {
+			fmt.Fprintf(os.Stderr, "refsim: quarantined: %v\n", ce)
+		}
+		os.Exit(3)
 	}
 }
 

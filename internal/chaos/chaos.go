@@ -1,0 +1,190 @@
+// Package chaos is a deterministic, seeded fault injector for the
+// experiment pipeline. It wraps a sweep cell's closure and makes a
+// configurable fraction of cells fail — by returned error, by panic, or
+// by stalling before succeeding — so tests can prove that quarantine,
+// bounded retry, and journaled resume actually deliver the failure
+// semantics they promise.
+//
+// Every decision is a pure function of (injector seed, cell key), so a
+// chaos run is as reproducible as the simulation itself: the same seed
+// faults the same cells in the same way regardless of worker count or
+// completion order. Transient faults fail only the first FailuresPerCell
+// attempts of a cell and then let it run normally, which is exactly the
+// shape the runner's identical-seed retry is built to absorb.
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"refsched/internal/runner"
+)
+
+// Mode selects how a faulted cell fails.
+type Mode string
+
+const (
+	// ModeTransient returns an error marked transient (retryable); the
+	// cell succeeds once its first FailuresPerCell attempts are spent.
+	ModeTransient Mode = "transient"
+	// ModeError returns a permanent (non-retryable) error every attempt.
+	ModeError Mode = "error"
+	// ModePanic panics with a *chaos.InjectedPanic value every attempt.
+	ModePanic Mode = "panic"
+	// ModeStall sleeps for Stall before running the cell normally. It
+	// models a slow, not broken, cell — used to hold a batch open while
+	// a test cancels it.
+	ModeStall Mode = "stall"
+	// ModeMixed cycles deterministically through transient/error/panic
+	// per faulted cell.
+	ModeMixed Mode = "mixed"
+)
+
+// ParseMode validates a -chaos-mode flag value.
+func ParseMode(s string) (Mode, error) {
+	switch m := Mode(s); m {
+	case ModeTransient, ModeError, ModePanic, ModeStall, ModeMixed:
+		return m, nil
+	default:
+		return "", fmt.Errorf("chaos: unknown mode %q (want transient|error|panic|stall|mixed)", s)
+	}
+}
+
+// Config shapes an Injector.
+type Config struct {
+	// Seed drives every injection decision.
+	Seed uint64
+	// Frac is the fraction of cells faulted, in [0, 1].
+	Frac float64
+	// Mode selects the failure shape (default ModeTransient).
+	Mode Mode
+	// FailuresPerCell is how many leading attempts of a transient-
+	// faulted cell fail before it succeeds (default 1).
+	FailuresPerCell int
+	// Stall is the ModeStall sleep (default 10ms).
+	Stall time.Duration
+}
+
+// InjectedError is the typed error returned by faulted cells.
+type InjectedError struct {
+	Key     string
+	Attempt int
+}
+
+// Error implements error.
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("chaos: injected fault in %q (attempt %d)", e.Key, e.Attempt)
+}
+
+// InjectedPanic is the typed panic value thrown by ModePanic cells, so
+// quarantine reports can tell injected chaos from real bugs.
+type InjectedPanic struct {
+	Key string
+}
+
+// Error lets the recovered value read naturally in failure summaries.
+func (p *InjectedPanic) Error() string {
+	return fmt.Sprintf("chaos: injected panic in %q", p.Key)
+}
+
+// Injector decides, per cell key, whether and how to inject a fault.
+// Decision state is immutable after construction; the per-cell attempt
+// counters are mutex-guarded, so an Injector is safe for concurrent use
+// by the worker pool.
+type Injector struct {
+	cfg Config
+
+	mu       sync.Mutex
+	attempts map[string]int
+}
+
+// New builds an injector; a nil return (Frac <= 0) means chaos is off
+// and callers can skip wrapping.
+func New(cfg Config) *Injector {
+	if cfg.Frac <= 0 {
+		return nil
+	}
+	if cfg.Mode == "" {
+		cfg.Mode = ModeTransient
+	}
+	if cfg.FailuresPerCell <= 0 {
+		cfg.FailuresPerCell = 1
+	}
+	if cfg.Stall <= 0 {
+		cfg.Stall = 10 * time.Millisecond
+	}
+	return &Injector{cfg: cfg, attempts: map[string]int{}}
+}
+
+// hash is SplitMix64 over the seed and key — a stateless, platform-
+// stable stream so fault placement is reproducible.
+func hash(seed uint64, key string) uint64 {
+	x := seed ^ 0x9e3779b97f4a7c15
+	for i := 0; i < len(key); i++ {
+		x = (x ^ uint64(key[i])) * 0xbf58476d1ce4e5b9
+	}
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ x>>31
+}
+
+// Faulted reports whether the injector will fault the cell with this
+// key, and with which mode.
+func (in *Injector) Faulted(key string) (Mode, bool) {
+	if in == nil {
+		return "", false
+	}
+	h := hash(in.cfg.Seed, key)
+	// Top 53 bits → uniform [0,1).
+	if float64(h>>11)/(1<<53) >= in.cfg.Frac {
+		return "", false
+	}
+	mode := in.cfg.Mode
+	if mode == ModeMixed {
+		mode = []Mode{ModeTransient, ModeError, ModePanic}[(h>>1)%3]
+	}
+	return mode, true
+}
+
+// attempt bumps and returns the 1-based attempt counter for key.
+func (in *Injector) attempt(key string) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.attempts[key]++
+	return in.attempts[key]
+}
+
+// Wrap returns run with the injector's fault (if any) for key applied
+// in front of it. The wrapped closure stays deterministic: on a
+// non-faulting attempt it simply runs the original closure with its
+// original seed.
+func Wrap[T any](in *Injector, key string, run func() (T, error)) func() (T, error) {
+	if in == nil {
+		return run
+	}
+	mode, ok := in.Faulted(key)
+	if !ok {
+		return run
+	}
+	return func() (T, error) {
+		var zero T
+		attempt := in.attempt(key)
+		switch mode {
+		case ModePanic:
+			panic(&InjectedPanic{Key: key})
+		case ModeError:
+			return zero, &InjectedError{Key: key, Attempt: attempt}
+		case ModeStall:
+			time.Sleep(in.cfg.Stall)
+			return run()
+		default: // ModeTransient
+			if attempt <= in.cfg.FailuresPerCell {
+				return zero, runner.MarkTransient(&InjectedError{Key: key, Attempt: attempt})
+			}
+			return run()
+		}
+	}
+}

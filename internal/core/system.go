@@ -185,11 +185,29 @@ func (s *System) SetTaskMasks(masks []buddy.BankMask) error {
 // Run executes the workload with warmup cycles of cache/queue warmup
 // followed by measure cycles of measured execution, and returns the
 // report. It may be called once per System.
-func (s *System) Run(warmup, measure uint64) (*Report, error) {
+//
+// Run is the error boundary of the simulation: typed sim.Fault values
+// unwinding out of the event loop (out-of-memory demand paging, invalid
+// buddy frees, past-scheduled events) are converted into returned
+// errors tagged with the cell's identity, so a faulting cell degrades
+// into a failed run the sweep pipeline can quarantine. Panics with
+// non-Fault values are genuine programmer invariants and propagate.
+func (s *System) Run(warmup, measure uint64) (rep *Report, err error) {
 	if s.started {
 		return nil, fmt.Errorf("core: system already run")
 	}
 	s.started = true
+	defer func() {
+		if p := recover(); p != nil {
+			f, ok := p.(sim.Fault)
+			if !ok {
+				panic(p)
+			}
+			rep = nil
+			err = fmt.Errorf("core: %s/%s/%s at cycle %d: %w",
+				s.Mix.Name, s.Cfg.Mem.Density, s.Cfg.Refresh.Policy, s.Eng.Now(), f)
+		}
+	}()
 	s.Kernel.Start()
 	s.Eng.RunUntil(sim.Time(warmup))
 	snap := s.snapshot()

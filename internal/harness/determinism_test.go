@@ -19,14 +19,17 @@ func TestFig10ParallelDeterminism(t *testing.T) {
 	// Raw reports first: compare every metric and the executed event
 	// count per (mix, density, bundle) cell.
 	p.Parallelism = 1
-	serialReps, err := p.mainResults(false)
+	serialReps, sFailed, err := p.mainResults(false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	p.Parallelism = 8
-	parallelReps, err := p.mainResults(false)
+	parallelReps, pFailed, err := p.mainResults(false)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(sFailed) != 0 || len(pFailed) != 0 {
+		t.Fatalf("unexpected quarantined cells: %v / %v", sFailed, pFailed)
 	}
 	if len(serialReps) != len(parallelReps) {
 		t.Fatalf("cell counts differ: %d serial vs %d parallel", len(serialReps), len(parallelReps))

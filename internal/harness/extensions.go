@@ -56,10 +56,11 @@ func Extensions(p Params) (*Result, error) {
 			})
 		}
 	}
-	reps, err := p.runCells(jobs)
+	reps, failed, err := p.runCells("ext1", jobs)
 	if err != nil {
 		return nil, err
 	}
+	r.Failed = failed
 
 	type cell struct {
 		gain, stalled, energy float64
@@ -69,8 +70,13 @@ func Extensions(p Params) (*Result, error) {
 		var gains, stalls, energies []float64
 		for _, mix := range p.sweepMixes() {
 			rep := reps[cellKey(e.name, mix.Name)]
+			base := reps[cellKey("allbank", mix.Name)]
+			if rep == nil || base == nil {
+				// Quarantined cell: this mix drops out of the means.
+				continue
+			}
 			g := 0.0
-			if b := reps[cellKey("allbank", mix.Name)].HarmonicIPC; b > 0 {
+			if b := base.HarmonicIPC; b > 0 {
 				g = rep.HarmonicIPC/b - 1
 			}
 			gains = append(gains, g)

@@ -5,6 +5,7 @@ import (
 
 	"refsched/internal/config"
 	"refsched/internal/core"
+	"refsched/internal/runner"
 )
 
 // mainDensities are the densities the headline figures sweep (8 Gb is
@@ -15,9 +16,13 @@ var mainDensities = []config.Density{config.Density16Gb, config.Density24Gb, con
 // mainResults runs the Figure 10/11/13 experiment grid — every selected
 // mix × {16,24,32 Gb} × {all-bank, per-bank, co-design} — at the given
 // retention temperature, and returns the reports keyed by
-// (mix, density, bundle). All cells run through the parallel sweep
-// runner.
-func (p Params) mainResults(highTemp bool) (map[string]*core.Report, error) {
+// (mix, density, bundle) plus any quarantined cell failures. All cells
+// run through the fault-tolerant parallel sweep runner.
+func (p Params) mainResults(highTemp bool) (map[string]*core.Report, []*runner.CellError, error) {
+	figID := "fig10"
+	if highTemp {
+		figID = "fig13"
+	}
 	var jobs []cellJob
 	for _, mix := range p.mixes() {
 		for _, d := range mainDensities {
@@ -26,7 +31,7 @@ func (p Params) mainResults(highTemp bool) (map[string]*core.Report, error) {
 			}
 		}
 	}
-	return p.runCells(jobs)
+	return p.runCells(figID, jobs)
 }
 
 func key(mix string, d config.Density, bundle string) string {
@@ -38,7 +43,7 @@ func key(mix string, d config.Density, bundle string) string {
 // density) and Figure 11 (average memory access latency). Set highTemp
 // for Figure 13's 32 ms retention variant.
 func Fig10(p Params, highTemp bool) (*Result, *Result, error) {
-	reps, err := p.mainResults(highTemp)
+	reps, failed, err := p.mainResults(highTemp)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -64,22 +69,38 @@ func Fig10(p Params, highTemp bool) (*Result, *Result, error) {
 	for _, mix := range p.mixes() {
 		row10 := []string{mix.Name}
 		row11 := []string{mix.Name}
+		rowPB := make(map[config.Density]float64)
+		rowCD := make(map[config.Density]float64)
+		complete := true
 		for _, d := range mainDensities {
 			ab := reps[key(mix.Name, d, "allbank")]
 			pb := reps[key(mix.Name, d, "perbank")]
 			cd := reps[key(mix.Name, d, "codesign")]
+			if ab == nil || pb == nil || cd == nil {
+				// A quarantined cell voids this mix's whole row (and its
+				// contribution to the averages); it is accounted for in
+				// the failure summary instead.
+				complete = false
+				break
+			}
 			gpb, gcd := 0.0, 0.0
 			if ab.HarmonicIPC > 0 {
 				gpb = pb.HarmonicIPC/ab.HarmonicIPC - 1
 				gcd = cd.HarmonicIPC/ab.HarmonicIPC - 1
 			}
-			gainsPB[d] = append(gainsPB[d], gpb)
-			gainsCD[d] = append(gainsCD[d], gcd)
+			rowPB[d], rowCD[d] = gpb, gcd
 			row10 = append(row10, pct(gpb), pct(gcd))
 			row11 = append(row11,
 				fmt.Sprintf("%.0f", ab.AvgMemLatencyMemCycles),
 				fmt.Sprintf("%.0f", pb.AvgMemLatencyMemCycles),
 				fmt.Sprintf("%.0f", cd.AvgMemLatencyMemCycles))
+		}
+		if !complete {
+			continue
+		}
+		for _, d := range mainDensities {
+			gainsPB[d] = append(gainsPB[d], rowPB[d])
+			gainsCD[d] = append(gainsCD[d], rowCD[d])
 		}
 		r10.Table.Rows = append(r10.Table.Rows, row10)
 		r11.Table.Rows = append(r11.Table.Rows, row11)
@@ -98,5 +119,6 @@ func Fig10(p Params, highTemp bool) (*Result, *Result, error) {
 			"paper: co-design +16.2%/12.1%/9.03% over all-bank and +6.3%/5.4%/2.5% over per-bank for 32/24/16Gb",
 			"paper: low-MPKI mixes (WL-2/3/4) see no improvement")
 	}
+	r10.Failed = failed
 	return r10, r11, nil
 }

@@ -22,10 +22,11 @@ func Fig12(p Params) (*Result, error) {
 			jobs = append(jobs, p.bundleJob(cellKey(mix.Name, b.name), d, b, false, mix))
 		}
 	}
-	reps, err := p.runCells(jobs)
+	reps, failed, err := p.runCells("fig12", jobs)
 	if err != nil {
 		return nil, err
 	}
+	r.Failed = failed
 
 	var g2, g4, gc []float64
 	for _, mix := range p.mixes() {
@@ -33,6 +34,10 @@ func Fig12(p Params) (*Result, error) {
 		f2 := reps[cellKey(mix.Name, bundleFGR2x.name)]
 		f4 := reps[cellKey(mix.Name, bundleFGR4x.name)]
 		cd := reps[cellKey(mix.Name, bundleCoDesign.name)]
+		if base == nil || f2 == nil || f4 == nil || cd == nil {
+			// Quarantined cell: the mix's row is omitted (see Failed).
+			continue
+		}
 		v2, v4, vc := 0.0, 0.0, 0.0
 		if base.HarmonicIPC > 0 {
 			v2 = f2.HarmonicIPC/base.HarmonicIPC - 1
@@ -67,14 +72,23 @@ func Fig14(p Params) (*Result, error) {
 			jobs = append(jobs, p.bundleJob(cellKey(mix.Name, b.name), d, b, false, mix))
 		}
 	}
-	reps, err := p.runCells(jobs)
+	reps, failed, err := p.runCells("fig14", jobs)
 	if err != nil {
 		return nil, err
 	}
+	r.Failed = failed
 
 	gains := map[string][]float64{}
 	for _, mix := range p.mixes() {
 		base := reps[cellKey(mix.Name, bundleAllBank.name)]
+		complete := base != nil
+		for _, b := range compared {
+			complete = complete && reps[cellKey(mix.Name, b.name)] != nil
+		}
+		if !complete {
+			// Quarantined cell: the mix's row is omitted (see Failed).
+			continue
+		}
 		row := []string{mix.Name}
 		for _, b := range compared {
 			rep := reps[cellKey(mix.Name, b.name)]

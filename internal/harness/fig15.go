@@ -57,10 +57,11 @@ func Fig15(p Params) (*Result, error) {
 			}
 		}
 	}
-	reps, err := p.runCells(jobs)
+	reps, failed, err := p.runCells("fig15", jobs)
 	if err != nil {
 		return nil, err
 	}
+	r.Failed = failed
 
 	for _, sc := range scenarios {
 		pbRow := []string{sc.name, "perbank"}
@@ -71,6 +72,10 @@ func Fig15(p Params) (*Result, error) {
 				ab := reps[cellKey(sc.name, d.String(), baseMix.Name, bundleAllBank.name)]
 				pb := reps[cellKey(sc.name, d.String(), baseMix.Name, bundlePerBank.name)]
 				cd := reps[cellKey(sc.name, d.String(), baseMix.Name, bundleCoDesign.name)]
+				if ab == nil || pb == nil || cd == nil {
+					// Quarantined cell: this mix drops out of the mean.
+					continue
+				}
 				if ab.HarmonicIPC > 0 {
 					gpb = append(gpb, pb.HarmonicIPC/ab.HarmonicIPC-1)
 					gcd = append(gcd, cd.HarmonicIPC/ab.HarmonicIPC-1)

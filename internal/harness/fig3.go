@@ -32,10 +32,11 @@ func Fig3(p Params) (*Result, error) {
 			}
 		}
 	}
-	reps, err := p.runCells(jobs)
+	reps, failed, err := p.runCells("fig3", jobs)
 	if err != nil {
 		return nil, err
 	}
+	r.Failed = failed
 
 	for _, temp := range temps {
 		for _, d := range config.Densities {
@@ -44,6 +45,10 @@ func Fig3(p Params) (*Result, error) {
 				none := reps[cellKey(temp.name, d.String(), mix.Name, bundleNone.name)]
 				ab := reps[cellKey(temp.name, d.String(), mix.Name, bundleAllBank.name)]
 				pb := reps[cellKey(temp.name, d.String(), mix.Name, bundlePerBank.name)]
+				if none == nil || ab == nil || pb == nil {
+					// Quarantined cell: this mix drops out of the mean.
+					continue
+				}
 				if none.HarmonicIPC > 0 {
 					degAB = append(degAB, 1-ab.HarmonicIPC/none.HarmonicIPC)
 					degPB = append(degPB, 1-pb.HarmonicIPC/none.HarmonicIPC)

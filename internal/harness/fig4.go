@@ -52,19 +52,24 @@ func Fig4(p Params) (*Result, error) {
 			}
 		}
 	}
-	reps, err := p.runCells(jobs)
+	reps, failed, err := p.runCells("fig4", jobs)
 	if err != nil {
 		return nil, err
 	}
+	r.Failed = failed
 
 	for _, d := range config.Densities {
 		row := []string{d.String()}
 		for _, k := range ks {
 			var ratios []float64
 			for _, mix := range p.sweepMixes() {
-				base := reps[cellKey("base", d.String(), mix.Name)].HarmonicIPC
+				baseRep := reps[cellKey("base", d.String(), mix.Name)]
 				rep := reps[cellKey("conf", d.String(), mix.Name, fmt.Sprint(k))]
-				if base > 0 {
+				if baseRep == nil || rep == nil {
+					// Quarantined cell: this mix drops out of the mean.
+					continue
+				}
+				if base := baseRep.HarmonicIPC; base > 0 {
 					ratios = append(ratios, rep.HarmonicIPC/base)
 				}
 			}

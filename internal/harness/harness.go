@@ -6,11 +6,15 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"time"
 
+	"refsched/internal/chaos"
 	"refsched/internal/config"
 	"refsched/internal/core"
+	"refsched/internal/runner"
 	"refsched/internal/stats"
 	"refsched/internal/workload"
 )
@@ -44,6 +48,45 @@ type Params struct {
 	// submission order, so rendered tables are identical at any
 	// setting; only wall-clock time changes.
 	Parallelism int
+
+	// Ctx cancels a sweep (nil = context.Background). Cancellation is
+	// graceful: in-flight cells finish (and are journaled), unstarted
+	// cells are skipped, and the sweep returns the context error.
+	Ctx context.Context
+	// FailFast aborts a sweep on its first failed cell (old pipeline
+	// semantics). The default quarantines failed cells into the
+	// Result's failure summary and completes the rest of the grid.
+	FailFast bool
+	// Retries bounds identical-seed re-runs of a cell whose error is
+	// marked transient; < 0 disables retry, 0 selects DefaultRetries.
+	Retries int
+	// RetryBackoff is the base backoff before a retry, doubling per
+	// attempt (0 = no sleep).
+	RetryBackoff time.Duration
+	// JournalDir, when non-empty, persists each completed cell to
+	// <JournalDir>/<figure>.journal.json atomically as it finishes.
+	JournalDir string
+	// Resume skips cells already recorded in the figure's journal,
+	// producing output byte-identical to an uninterrupted run.
+	Resume bool
+	// Chaos, when non-nil, deterministically injects faults into a
+	// fraction of cells (tests and failure drills only).
+	Chaos *chaos.Injector
+}
+
+// DefaultRetries is the transient-error retry budget used when
+// Params.Retries is zero.
+const DefaultRetries = 2
+
+// retries resolves the Retries knob (0 = default, negative = off).
+func (p Params) retries() int {
+	if p.Retries == 0 {
+		return DefaultRetries
+	}
+	if p.Retries < 0 {
+		return 0
+	}
+	return p.Retries
 }
 
 // DefaultParams is the full-fidelity configuration used for
@@ -66,15 +109,37 @@ type Result struct {
 	Title string
 	Table stats.Table
 	Notes []string
+	// Failed lists the sweep's quarantined cells (empty on a clean
+	// run, so clean output is unchanged). Rows needing a failed cell
+	// are omitted from Table and accounted for here instead.
+	Failed []*runner.CellError
 }
 
-// String renders the result.
+// String renders the result, followed by the failure-summary table when
+// any cells were quarantined.
 func (r *Result) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
 	b.WriteString(r.Table.String())
 	for _, n := range r.Notes {
 		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	if len(r.Failed) > 0 {
+		fmt.Fprintf(&b, "-- %d cell(s) failed and were quarantined --\n", len(r.Failed))
+		var ft stats.Table
+		ft.Header = []string{"cell", "seed", "attempts", "kind", "error"}
+		for _, f := range r.Failed {
+			kind := "error"
+			detail := ""
+			if f.Panicked() {
+				kind = "panic"
+				detail = fmt.Sprint(f.PanicValue)
+			} else if f.Err != nil {
+				detail = f.Err.Error()
+			}
+			ft.AddRow(f.Cell.String(), fmt.Sprint(f.Cell.Seed), fmt.Sprint(f.Attempts), kind, detail)
+		}
+		b.WriteString(ft.String())
 	}
 	return b.String()
 }

@@ -1,0 +1,222 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"refsched/internal/chaos"
+	"refsched/internal/journal"
+)
+
+// fig10ChaosKeys reproduces the chaos keys runCells derives for the
+// tiny fig10 sweep, so tests can pick injector seeds that definitely
+// fault (or spare) specific cells.
+func fig10ChaosKeys(p Params) []string {
+	var keys []string
+	for _, mix := range p.mixes() {
+		for _, d := range mainDensities {
+			for _, b := range []bundle{bundleAllBank, bundlePerBank, bundleCoDesign} {
+				keys = append(keys, "fig10|"+key(mix.Name, d, b.name))
+			}
+		}
+	}
+	return keys
+}
+
+// chaosSeedFaulting returns an injector seed whose fault placement hits
+// at least min of the sweep's cells at the given fraction.
+func chaosSeedFaulting(t *testing.T, keys []string, frac float64, mode chaos.Mode, min int) uint64 {
+	t.Helper()
+	for seed := uint64(1); seed < 200; seed++ {
+		in := chaos.New(chaos.Config{Seed: seed, Frac: frac, Mode: mode})
+		n := 0
+		for _, k := range keys {
+			if _, ok := in.Faulted(k); ok {
+				n++
+			}
+		}
+		if n >= min && n < len(keys) {
+			return seed
+		}
+	}
+	t.Fatal("no chaos seed found — injector hash broken?")
+	return 0
+}
+
+// TestFig10ChaosQuarantine is the headline robustness acceptance: a
+// fig10 sweep with ~20% permanently-failing cells must still complete,
+// list the quarantined cells in its failure-summary table, and keep
+// every healthy row correct.
+func TestFig10ChaosQuarantine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweeps are slow")
+	}
+	p := tinyParams()
+	keys := fig10ChaosKeys(p)
+	seed := chaosSeedFaulting(t, keys, 0.2, chaos.ModeError, 1)
+
+	p.Chaos = chaos.New(chaos.Config{Seed: seed, Frac: 0.2, Mode: chaos.ModeError})
+	r10, _, err := Fig10(p, false)
+	if err != nil {
+		t.Fatalf("chaos must quarantine, not abort: %v", err)
+	}
+	if len(r10.Failed) == 0 {
+		t.Fatal("no cells quarantined despite injected permanent faults")
+	}
+	out := r10.String()
+	if !strings.Contains(out, "quarantined") {
+		t.Errorf("rendered output missing the failure-summary table:\n%s", out)
+	}
+	for _, ce := range r10.Failed {
+		if !strings.Contains(out, ce.Cell.Mix) || !strings.Contains(out, ce.Cell.Bundle) {
+			t.Errorf("failure summary does not identify cell %s:\n%s", ce.Cell, out)
+		}
+		var ie *chaos.InjectedError
+		if !errors.As(ce.Err, &ie) {
+			t.Errorf("quarantined error lost its typed cause: %v", ce.Err)
+		}
+	}
+
+	// Fail-fast restores abort semantics on the same faults.
+	p.FailFast = true
+	_, _, err = Fig10(p, false)
+	if err == nil {
+		t.Fatal("FailFast run did not abort on injected faults")
+	}
+}
+
+// TestFig10TransientChaosHealsByteIdentical proves the identical-seed
+// retry: with every injected fault transient and within the retry
+// budget, the sweep self-heals and renders tables byte-identical to an
+// undisturbed run.
+func TestFig10TransientChaosHealsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweeps are slow")
+	}
+	p := tinyParams()
+	clean10, clean11, err := Fig10(p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	keys := fig10ChaosKeys(p)
+	seed := chaosSeedFaulting(t, keys, 0.3, chaos.ModeTransient, 2)
+	p.Chaos = chaos.New(chaos.Config{Seed: seed, Frac: 0.3, Mode: chaos.ModeTransient, FailuresPerCell: 2})
+	p.Parallelism = 4
+	r10, r11, err := Fig10(p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r10.Failed) != 0 {
+		t.Fatalf("transient faults within retry budget still quarantined: %v", r10.Failed)
+	}
+	if r10.String() != clean10.String() {
+		t.Errorf("healed fig10 not byte-identical:\nclean:\n%s\nhealed:\n%s", clean10, r10)
+	}
+	if r11.String() != clean11.String() {
+		t.Errorf("healed fig11 not byte-identical:\nclean:\n%s\nhealed:\n%s", clean11, r11)
+	}
+}
+
+// TestFig10JournalResumeByteIdentical is the resume acceptance: an
+// interrupted journaled sweep (here: cells knocked out by permanent
+// chaos stand in for a mid-run kill — either way they are simply absent
+// from the journal) is finished by a -resume rerun whose rendered
+// tables are byte-identical to an uninterrupted serial run.
+func TestFig10JournalResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweeps are slow")
+	}
+	p := tinyParams()
+	p.Parallelism = 1
+	clean10, clean11, err := Fig10(p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	keys := fig10ChaosKeys(p)
+	seed := chaosSeedFaulting(t, keys, 0.3, chaos.ModeError, 2)
+
+	// Pass 1: journaled run with some cells failing permanently; their
+	// results never reach the journal.
+	p1 := p
+	p1.JournalDir = dir
+	p1.Parallelism = 4
+	p1.Chaos = chaos.New(chaos.Config{Seed: seed, Frac: 0.3, Mode: chaos.ModeError})
+	r10, _, err := Fig10(p1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing := len(r10.Failed)
+	if missing == 0 {
+		t.Fatal("pass 1 quarantined nothing — test vacuous")
+	}
+
+	// The journal holds exactly the healthy cells.
+	jnl, err := journal.Open(filepath.Join(dir, "fig10.journal.json"), p.fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jnl.Len() != len(keys)-missing {
+		t.Fatalf("journal has %d cells, want %d", jnl.Len(), len(keys)-missing)
+	}
+
+	// Pass 2: resume without chaos. Only the missing cells re-run; the
+	// rendered tables must be byte-identical to the clean serial run.
+	p2 := p
+	p2.JournalDir = dir
+	p2.Resume = true
+	p2.Parallelism = 4
+	res10, res11, err := Fig10(p2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res10.Failed) != 0 {
+		t.Fatalf("resume still quarantined cells: %v", res10.Failed)
+	}
+	if res10.String() != clean10.String() {
+		t.Errorf("resumed fig10 not byte-identical:\nclean:\n%s\nresumed:\n%s", clean10, res10)
+	}
+	if res11.String() != clean11.String() {
+		t.Errorf("resumed fig11 not byte-identical:\nclean:\n%s\nresumed:\n%s", clean11, res11)
+	}
+}
+
+// TestFig10CancelledContext: a cancelled sweep reports the cancellation
+// instead of returning partial tables, so callers can surface the
+// resume hint.
+func TestFig10CancelledContext(t *testing.T) {
+	p := tinyParams()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p.Ctx = ctx
+	_, _, err := Fig10(p, false)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestFingerprintCoversResultKnobs: any parameter that changes a cell's
+// simulated result must change the journal fingerprint, or a resume
+// could decode stale results.
+func TestFingerprintCoversResultKnobs(t *testing.T) {
+	base := tinyParams()
+	mutations := map[string]func(*Params){
+		"Scale":          func(p *Params) { p.Scale *= 2 },
+		"FootprintScale": func(p *Params) { p.FootprintScale *= 2 },
+		"WarmupWindows":  func(p *Params) { p.WarmupWindows++ },
+		"MeasureWindows": func(p *Params) { p.MeasureWindows++ },
+		"Seed":           func(p *Params) { p.Seed++ },
+	}
+	for name, mutate := range mutations {
+		q := base
+		mutate(&q)
+		if q.fingerprint() == base.fingerprint() {
+			t.Errorf("changing %s does not change the journal fingerprint", name)
+		}
+	}
+}

@@ -1,11 +1,15 @@
 package harness
 
 import (
+	"context"
 	"fmt"
+	"path/filepath"
 	"strings"
 
+	"refsched/internal/chaos"
 	"refsched/internal/config"
 	"refsched/internal/core"
+	"refsched/internal/journal"
 	"refsched/internal/runner"
 	"refsched/internal/workload"
 )
@@ -33,30 +37,112 @@ func (p Params) bundleJob(key string, d config.Density, b bundle, highTemp bool,
 	}
 }
 
-// runCells executes a sweep's cells across Params.Parallelism workers
-// and returns the reports keyed by each job's key. Cells share no
-// mutable state and results are collected by submission index, so the
-// returned map is identical to a serial in-order run; Verbose lines go
-// through the runner's single collector goroutine and never interleave.
-func (p Params) runCells(jobs []cellJob) (map[string]*core.Report, error) {
-	rjobs := make([]runner.Job[*core.Report], len(jobs))
-	for i, j := range jobs {
-		rjobs[i] = runner.Job[*core.Report]{Cell: j.cell, Run: j.run}
+// fingerprint identifies the parameter set a journal's entries are
+// valid for: every knob that changes a cell's simulated result. Mix
+// selection is deliberately absent — it changes which cells exist, not
+// what any cell computes, and cells are already keyed individually.
+func (p Params) fingerprint() string {
+	return fmt.Sprintf("v1 scale=%d fp=%g warm=%d meas=%d seed=%d",
+		p.Scale, p.FootprintScale, p.WarmupWindows, p.MeasureWindows, p.Seed)
+}
+
+// ctx returns the sweep's cancellation context.
+func (p Params) ctx() context.Context {
+	if p.Ctx != nil {
+		return p.Ctx
 	}
-	var onDone func(runner.Cell, *core.Report)
-	if p.Verbose {
-		onDone = func(c runner.Cell, rep *core.Report) {
+	return context.Background()
+}
+
+// openJournal opens the figure's completed-cell journal when journaling
+// is enabled (JournalDir non-empty), else returns nil.
+func (p Params) openJournal(figID string) (*journal.Journal, error) {
+	if p.JournalDir == "" {
+		return nil, nil
+	}
+	return journal.Open(filepath.Join(p.JournalDir, figID+".journal.json"), p.fingerprint())
+}
+
+// runCells executes a sweep's cells across Params.Parallelism workers
+// and returns the reports keyed by each job's key, plus the quarantined
+// failures.
+//
+// This is the pipeline's fault boundary. A cell that fails or panics is
+// captured as a typed *runner.CellError and quarantined (unless
+// Params.FailFast restores abort-on-first-error semantics); errors
+// marked transient are retried with the identical seed up to
+// Params.Retries times. With journaling enabled every completed cell is
+// persisted atomically as it finishes, and with Resume set, cells
+// already on record are decoded instead of re-run — JSON round-trips
+// float64 exactly, so a resumed sweep renders byte-identical tables.
+// Cells share no mutable state and results are collected by submission
+// index, so the returned map is identical to a serial in-order run;
+// Verbose lines go through the runner's single collector goroutine and
+// never interleave.
+//
+// The error is non-nil only when the sweep did not run to completion:
+// cancellation, a fail-fast failure, or a journal write failure (which
+// would silently void the resume guarantee if ignored).
+func (p Params) runCells(figID string, jobs []cellJob) (map[string]*core.Report, []*runner.CellError, error) {
+	out := make(map[string]*core.Report, len(jobs))
+
+	jnl, err := p.openJournal(figID)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Resume: satisfy cells from the journal and run only the rest.
+	toRun := jobs
+	if jnl != nil && p.Resume {
+		toRun = toRun[:0:0]
+		for _, j := range jobs {
+			var rep core.Report
+			if jnl.Lookup(j.key, &rep) {
+				out[j.key] = &rep
+				continue
+			}
+			toRun = append(toRun, j)
+		}
+	}
+
+	rjobs := make([]runner.Job[*core.Report], len(toRun))
+	for i, j := range toRun {
+		run := j.run
+		if p.Chaos != nil {
+			run = chaos.Wrap(p.Chaos, figID+"|"+j.key, run)
+		}
+		rjobs[i] = runner.Job[*core.Report]{Cell: j.cell, Run: run}
+	}
+
+	// The collector goroutine serializes journaling and progress output.
+	var journalErr error
+	onDone := func(i int, c runner.Cell, rep *core.Report) {
+		if jnl != nil && journalErr == nil {
+			journalErr = jnl.Record(toRun[i].key, rep)
+		}
+		if p.Verbose {
 			fmt.Printf("  ran %-6s %-5s %-10s hIPC=%.4f lat=%.0f stalled=%.4f\n",
 				c.Mix, c.Density, c.Bundle, rep.HarmonicIPC, rep.AvgMemLatency, rep.RefreshStalledFrac)
 		}
 	}
-	reps, err := runner.Run(rjobs, p.Parallelism, onDone)
+
+	batch, err := runner.RunBatch(p.ctx(), rjobs, runner.Options[*core.Report]{
+		Parallelism: p.Parallelism,
+		FailFast:    p.FailFast,
+		Retries:     p.retries(),
+		Backoff:     p.RetryBackoff,
+		OnDone:      onDone,
+	})
+	for i, j := range toRun {
+		if batch.OK[i] {
+			out[j.key] = batch.Results[i]
+		}
+	}
 	if err != nil {
-		return nil, err
+		return out, batch.Failed, err
 	}
-	out := make(map[string]*core.Report, len(jobs))
-	for i, j := range jobs {
-		out[j.key] = reps[i]
+	if journalErr != nil {
+		return out, batch.Failed, fmt.Errorf("harness: journaling %s: %w", figID, journalErr)
 	}
-	return out, nil
+	return out, batch.Failed, nil
 }

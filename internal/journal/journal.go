@@ -1,0 +1,138 @@
+// Package journal persists the completed cells of an experiment sweep
+// so an interrupted run can resume without repeating finished work.
+//
+// A sweep opens one journal per figure (<figure>.journal.json). As each
+// cell completes, its result is recorded under the cell's key and the
+// whole file is rewritten atomically (write to a temp file in the same
+// directory, fsync, rename), so a kill at any instant leaves either the
+// previous or the next consistent snapshot — never a torn file. On
+// -resume, cells found in the journal are decoded instead of re-run;
+// because results round-trip through encoding/json (whose float64
+// encoding is exact), a resumed sweep renders byte-identical tables to
+// an uninterrupted run.
+//
+// A journal is bound to the parameter fingerprint of the sweep that
+// created it. Opening with a different fingerprint discards the stale
+// entries rather than resuming into wrong results.
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// file is the on-disk layout.
+type file struct {
+	// Fingerprint identifies the sweep parameters the entries belong to.
+	Fingerprint string `json:"fingerprint"`
+	// Entries maps cell key -> the cell's JSON-encoded result.
+	Entries map[string]json.RawMessage `json:"entries"`
+}
+
+// Journal is one sweep's completed-cell store. Not safe for concurrent
+// use; the runner's single collector goroutine is the intended writer.
+type Journal struct {
+	path    string
+	f       file
+	dropped int // stale entries discarded on open
+}
+
+// Open loads the journal at path, creating an empty one (in memory; the
+// file appears on first Record) if none exists. A journal whose
+// fingerprint differs from fingerprint is treated as stale: its entries
+// are dropped and Dropped reports how many. A corrupt file is an error
+// — deleting it is an explicit operator action, not something a resume
+// should do silently.
+func Open(path, fingerprint string) (*Journal, error) {
+	j := &Journal{path: path, f: file{Fingerprint: fingerprint, Entries: map[string]json.RawMessage{}}}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return j, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	var old file
+	if err := json.Unmarshal(data, &old); err != nil {
+		return nil, fmt.Errorf("journal: corrupt %s (delete it to start over): %w", path, err)
+	}
+	if old.Fingerprint != fingerprint {
+		j.dropped = len(old.Entries)
+		return j, nil
+	}
+	if old.Entries != nil {
+		j.f.Entries = old.Entries
+	}
+	return j, nil
+}
+
+// Path returns the backing file path.
+func (j *Journal) Path() string { return j.path }
+
+// Len returns the number of completed cells on record.
+func (j *Journal) Len() int { return len(j.f.Entries) }
+
+// Dropped returns how many entries were discarded at Open because the
+// journal belonged to a different parameter fingerprint.
+func (j *Journal) Dropped() int { return j.dropped }
+
+// Lookup decodes the recorded result for key into out and reports
+// whether the cell was on record. A recorded entry that no longer
+// decodes is reported as absent so the cell is simply re-run.
+func (j *Journal) Lookup(key string, out any) bool {
+	raw, ok := j.f.Entries[key]
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(raw, out) == nil
+}
+
+// Has reports whether key is on record without decoding it.
+func (j *Journal) Has(key string) bool {
+	_, ok := j.f.Entries[key]
+	return ok
+}
+
+// Record stores v as the completed result for key and atomically
+// rewrites the journal file.
+func (j *Journal) Record(key string, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("journal: encoding %q: %w", key, err)
+	}
+	j.f.Entries[key] = raw
+	return j.flush()
+}
+
+// flush writes the whole journal via tmp+fsync+rename so the on-disk
+// file is always a consistent snapshot.
+func (j *Journal) flush() error {
+	// encoding/json sorts map keys, so the file is diffable across runs.
+	data, err := json.MarshalIndent(j.f, "", " ")
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(j.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type report struct {
+	IPC    float64
+	Events uint64
+	Name   string
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig10.journal.json")
+	j, err := Open(path, "v1 scale=64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 0 || j.Dropped() != 0 {
+		t.Fatalf("fresh journal: Len=%d Dropped=%d", j.Len(), j.Dropped())
+	}
+
+	// Awkward float64s must round-trip exactly — that is the basis of the
+	// byte-identical-resume guarantee.
+	in := report{IPC: 0.1 + 0.2, Events: 1<<53 - 1, Name: "WL-1|32Gb|codesign"}
+	if err := j.Record("WL-1|32Gb|codesign", in); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("WL-2|32Gb|allbank", report{IPC: 1.0 / 3.0}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen (fresh process) and decode.
+	j2, err := Open(path, "v1 scale=64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Len() != 2 {
+		t.Fatalf("reopened Len = %d, want 2", j2.Len())
+	}
+	var out report
+	if !j2.Lookup("WL-1|32Gb|codesign", &out) {
+		t.Fatal("recorded cell not found after reopen")
+	}
+	if out != in {
+		t.Fatalf("round-trip mismatch: got %+v, want %+v", out, in)
+	}
+	if j2.Has("WL-3|32Gb|codesign") {
+		t.Error("Has reported an unrecorded cell")
+	}
+	if j2.Lookup("nope", &out) {
+		t.Error("Lookup reported an unrecorded cell")
+	}
+}
+
+func TestJournalOverwriteKey(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.json")
+	j, _ := Open(path, "fp")
+	j.Record("k", report{IPC: 1})
+	j.Record("k", report{IPC: 2})
+	var out report
+	j2, _ := Open(path, "fp")
+	if !j2.Lookup("k", &out) || out.IPC != 2 {
+		t.Fatalf("latest record must win: %+v", out)
+	}
+	if j2.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", j2.Len())
+	}
+}
+
+func TestJournalFingerprintMismatchDropsEntries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.json")
+	j, _ := Open(path, "scale=64")
+	j.Record("a", report{})
+	j.Record("b", report{})
+
+	// Same file, different sweep parameters: stale entries must not be
+	// resumed into wrong results.
+	j2, err := Open(path, "scale=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Len() != 0 {
+		t.Fatalf("stale journal resumed %d entries", j2.Len())
+	}
+	if j2.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", j2.Dropped())
+	}
+	// Recording under the new fingerprint rewrites the file; the old
+	// fingerprint is gone for good.
+	j2.Record("c", report{})
+	j3, _ := Open(path, "scale=8")
+	if j3.Len() != 1 || j3.Has("a") {
+		t.Fatal("old-fingerprint entries leaked into the rewritten journal")
+	}
+}
+
+func TestJournalCorruptFileIsAnError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(path, "fp")
+	if err == nil {
+		t.Fatal("corrupt journal must be an explicit error, not a silent restart")
+	}
+	if !strings.Contains(err.Error(), "delete it") {
+		t.Errorf("error %q should tell the operator the recovery action", err)
+	}
+}
+
+func TestJournalAtomicFlushLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.json")
+	j, _ := Open(path, "fp")
+	for i := 0; i < 5; i++ {
+		if err := j.Record(strings.Repeat("k", i+1), report{Events: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "j.json" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory = %v, want only j.json (no stray temp files)", names)
+	}
+}
+
+func TestJournalMissingDirErrors(t *testing.T) {
+	j, err := Open(filepath.Join(t.TempDir(), "no", "such", "dir", "j.json"), "fp")
+	if err != nil {
+		t.Fatal(err) // opening is fine: the file just doesn't exist yet
+	}
+	if err := j.Record("k", report{}); err == nil {
+		t.Fatal("recording into a missing directory must surface an error")
+	}
+}

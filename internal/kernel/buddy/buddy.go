@@ -142,11 +142,31 @@ func (a *Allocator) AllocBlock(order int) (uint64, bool) {
 // AllocPage allocates a single frame.
 func (a *Allocator) AllocPage() (uint64, bool) { return a.AllocBlock(0) }
 
+// InvalidFreeError is the sim.Fault raised by a free of a frame that is
+// not the head of an allocated block of the given order — a double
+// free, an unaligned free, or a free of never-allocated memory. It
+// unwinds out of the event loop and is converted into a returned error
+// at the core run boundary.
+type InvalidFreeError struct {
+	PFN        uint64
+	Order      int
+	TotalPages uint64
+}
+
+// Error implements error.
+func (e *InvalidFreeError) Error() string {
+	return fmt.Sprintf("buddy: invalid free of pfn %d order %d (%d pages managed)",
+		e.PFN, e.Order, e.TotalPages)
+}
+
+// SimulationFault implements sim.Fault.
+func (*InvalidFreeError) SimulationFault() {}
+
 // FreeBlock frees a block previously returned by AllocBlock with the
 // same order, coalescing with free buddies.
 func (a *Allocator) FreeBlock(pfn uint64, order int) {
 	if pfn >= a.totalPages || a.state[pfn] != stateAlloc || int(a.order[pfn]) != order {
-		panic(fmt.Sprintf("buddy: bad free of pfn %d order %d", pfn, order))
+		panic(&InvalidFreeError{PFN: pfn, Order: order, TotalPages: a.totalPages})
 	}
 	a.Frees++
 	a.nrFree += 1 << uint(order)

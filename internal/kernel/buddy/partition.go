@@ -81,6 +81,9 @@ func NewPartitionAllocator(b *Allocator, mapper *dram.Mapper) *PartitionAllocato
 // Banks returns the number of global banks tracked.
 func (p *PartitionAllocator) Banks() int { return len(p.perBank) }
 
+// TotalPages returns the frame count of the underlying buddy allocator.
+func (p *PartitionAllocator) TotalPages() uint64 { return p.buddy.TotalPages() }
+
 // Buddy exposes the underlying buddy allocator.
 func (p *PartitionAllocator) Buddy() *Allocator { return p.buddy }
 

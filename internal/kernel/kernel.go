@@ -77,6 +77,26 @@ func (t *Task) PushBack(instrs uint64, acc workload.Access) {
 	t.pAcc = acc
 }
 
+// OutOfMemoryError is the sim.Fault raised when a demand page fault
+// finds no free physical frame — a runtime condition of the configured
+// machine (footprints exceeding DRAM capacity), not a programmer bug.
+// It unwinds out of the event loop and is converted into a returned
+// error at the core run boundary.
+type OutOfMemoryError struct {
+	TaskID     int
+	VAddr      uint64
+	TotalPages uint64
+}
+
+// Error implements error.
+func (e *OutOfMemoryError) Error() string {
+	return fmt.Sprintf("kernel: out of physical memory (%d pages) faulting vaddr %#x for task %d",
+		e.TotalPages, e.VAddr, e.TaskID)
+}
+
+// SimulationFault implements sim.Fault.
+func (*OutOfMemoryError) SimulationFault() {}
+
 // Translate implements cpu.Task: page-table walk with demand paging
 // through the partition allocator.
 func (t *Task) Translate(vaddr uint64) (uint64, uint64) {
@@ -85,7 +105,7 @@ func (t *Task) Translate(vaddr uint64) (uint64, uint64) {
 	}
 	pfn, fellBack, ok := t.k.alloc.AllocPageFor(t.Ent.Mask, &t.lastAllocedBank)
 	if !ok {
-		panic(fmt.Sprintf("kernel: out of physical memory faulting vaddr %#x for task %d", vaddr, t.id))
+		panic(&OutOfMemoryError{TaskID: t.id, VAddr: vaddr, TotalPages: t.k.alloc.TotalPages()})
 	}
 	if fellBack {
 		t.FallbackPages++

@@ -1,6 +1,10 @@
 package refresh
 
-import "refsched/internal/sim"
+import (
+	"fmt"
+
+	"refsched/internal/sim"
+)
 
 // AllBank is rank-level auto-refresh: every tREFIab each rank receives a
 // REF command that refreshes a group of rows in all of its banks, holding
@@ -69,10 +73,12 @@ func FGRDurFactor(mode int) float64 {
 	}
 }
 
-// NewFGR builds an all-bank policy in DDR4 1x/2x/4x mode.
-func NewFGR(g Geometry, mode int) *FGR {
+// NewFGR builds an all-bank policy in DDR4 1x/2x/4x mode. An invalid
+// mode is a configuration error reported at construction, so a bad
+// sweep cell fails cleanly instead of crashing the batch.
+func NewFGR(g Geometry, mode int) (*FGR, error) {
 	if mode != 1 && mode != 2 && mode != 4 {
-		panic("refresh: FGR mode must be 1, 2 or 4")
+		return nil, fmt.Errorf("refresh: invalid FGR mode %d (DDR4 defines 1x, 2x and 4x)", mode)
 	}
 	tm := g.Timing
 	trefi := tm.TREFIab / uint64(mode)
@@ -86,7 +92,16 @@ func NewFGR(g Geometry, mode int) *FGR {
 		rows:     tm.RowsPerRefresh(cmds),
 		interval: trefi / uint64(g.Ranks),
 		dur:      uint64(float64(tm.TRFCab) / FGRDurFactor(mode)),
+	}, nil
+}
+
+// mustFGR builds an FGR whose mode is a compile-time-valid constant.
+func mustFGR(g Geometry, mode int) *FGR {
+	f, err := NewFGR(g, mode)
+	if err != nil {
+		panic(err)
 	}
+	return f
 }
 
 // Name implements Scheduler.
@@ -140,8 +155,8 @@ func NewAdaptive(g Geometry, epoch uint64, highUtil float64) *Adaptive {
 	}
 	a := &Adaptive{
 		g:        g,
-		one:      NewFGR(g, 1),
-		four:     NewFGR(g, 4),
+		one:      mustFGR(g, 1),
+		four:     mustFGR(g, 4),
 		epoch:    epoch,
 		highUtil: highUtil,
 	}

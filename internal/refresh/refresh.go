@@ -100,9 +100,9 @@ func New(p config.RefreshPolicy, g Geometry) (Scheduler, error) {
 	case config.RefreshOOOPerBank:
 		return NewOOOPerBank(g), nil
 	case config.RefreshFGR2x:
-		return NewFGR(g, 2), nil
+		return NewFGR(g, 2)
 	case config.RefreshFGR4x:
-		return NewFGR(g, 4), nil
+		return NewFGR(g, 4)
 	case config.RefreshAdaptive:
 		return NewAdaptive(g, 0, 0), nil
 	case config.RefreshElastic:

@@ -194,9 +194,9 @@ func TestOOOPerBankCompletesWindow(t *testing.T) {
 
 func TestFGRScaling(t *testing.T) {
 	g := geo(t, 64)
-	f1 := NewFGR(g, 1)
-	f2 := NewFGR(g, 2)
-	f4 := NewFGR(g, 4)
+	f1 := mustFGR(g, 1)
+	f2 := mustFGR(g, 2)
+	f4 := mustFGR(g, 4)
 	if f2.Interval() != f1.Interval()/2 || f4.Interval() != f1.Interval()/4 {
 		t.Fatal("FGR intervals do not halve/quarter")
 	}
@@ -215,12 +215,25 @@ func TestFGRScaling(t *testing.T) {
 	if !(busy(f1) < busy(f2) && busy(f2) < busy(f4)) {
 		t.Fatalf("busy time not increasing: %d %d %d", busy(f1), busy(f2), busy(f4))
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("NewFGR(3) did not panic")
+}
+
+// TestFGRInvalidModes: every mode DDR4 does not define must be rejected
+// as a configuration error at construction — never a panic, so one
+// misconfigured sweep cell cannot crash a batch.
+func TestFGRInvalidModes(t *testing.T) {
+	g := geo(t, 64)
+	for _, mode := range []int{-4, -1, 0, 3, 5, 8, 16} {
+		f, err := NewFGR(g, mode)
+		if err == nil || f != nil {
+			t.Errorf("NewFGR(mode=%d) = %v, %v; want nil, error", mode, f, err)
 		}
-	}()
-	NewFGR(g, 3)
+	}
+	for _, mode := range []int{1, 2, 4} {
+		f, err := NewFGR(g, mode)
+		if err != nil || f == nil {
+			t.Errorf("NewFGR(mode=%d) = %v, %v; want policy, nil", mode, f, err)
+		}
+	}
 }
 
 func TestAdaptiveSwitchesOnUtilization(t *testing.T) {

@@ -9,13 +9,26 @@
 // built from the results are byte-identical to serial output regardless
 // of worker completion order. Progress callbacks are routed through a
 // single collector goroutine so verbose output never interleaves.
+//
+// The pool has the failure semantics of a real job scheduler. A failing
+// or panicking cell is captured as a typed *CellError (cell identity,
+// seed, original panic value, goroutine stack) and — unless FailFast is
+// set — quarantined so the rest of the batch still completes. Errors
+// marked transient (see MarkTransient) are retried a bounded number of
+// times with exponential backoff, re-running the identical closure with
+// the identical seed so determinism holds. Cancelling the batch context
+// lets in-flight cells finish and skips the rest, so completed work is
+// preserved for journaled resumption.
 package runner
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Cell identifies one independent simulation cell of a sweep grid: the
@@ -37,10 +50,134 @@ func (c Cell) String() string {
 
 // Job couples a cell's identity with the closure that simulates it.
 // Run must be self-contained: it may not share mutable state with any
-// other job in the same batch.
+// other job in the same batch, and it must be deterministic so that a
+// retry after a transient failure reproduces the identical result.
 type Job[T any] struct {
 	Cell Cell
 	Run  func() (T, error)
+}
+
+// CellError is the quarantine record for one failed cell: which cell it
+// was, how it failed, and how many attempts were made. A panicking cell
+// preserves the original panic value and the goroutine stack captured
+// at recovery time, so nothing is flattened into an opaque string.
+type CellError struct {
+	Index    int  // position of the job in the batch
+	Cell     Cell // identity, including the seed for standalone repro
+	Attempts int  // total executions, including retries
+
+	// Err is the error the final attempt returned, or nil when the cell
+	// panicked instead.
+	Err error
+	// PanicValue is the recovered panic value (nil unless the cell
+	// panicked); Stack is the goroutine stack captured at that point.
+	PanicValue any
+	Stack      []byte
+}
+
+// Error implements error. The full stack is not inlined (it can run to
+// kilobytes); it stays available via the Stack field.
+func (e *CellError) Error() string {
+	if e.PanicValue != nil {
+		return fmt.Sprintf("cell %d (%s, seed %d) panicked after %d attempt(s): %v",
+			e.Index, e.Cell, e.Cell.Seed, e.Attempts, e.PanicValue)
+	}
+	return fmt.Sprintf("cell %d (%s, seed %d) failed after %d attempt(s): %v",
+		e.Index, e.Cell, e.Cell.Seed, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying error for errors.Is/As chains. A panic
+// with an error value unwraps to that error.
+func (e *CellError) Unwrap() error {
+	if e.Err != nil {
+		return e.Err
+	}
+	if err, ok := e.PanicValue.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Panicked reports whether the cell failed by panicking.
+func (e *CellError) Panicked() bool { return e.PanicValue != nil }
+
+// transientError marks an error as worth retrying with the same seed.
+type transientError struct{ err error }
+
+func (t *transientError) Error() string { return t.err.Error() }
+func (t *transientError) Unwrap() error { return t.err }
+
+// MarkTransient wraps err so the runner's bounded retry applies to it.
+// Simulation determinism means a genuine model error always recurs;
+// transience is for infrastructure faults (and for chaos injection in
+// tests). Marking nil returns nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err is marked transient anywhere in its
+// chain.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// Options configures a batch run. The zero value means: GOMAXPROCS
+// workers, quarantine failures (no fail-fast), no retries, no progress
+// callback.
+type Options[T any] struct {
+	// Parallelism bounds the worker pool; <= 0 selects GOMAXPROCS.
+	Parallelism int
+	// FailFast restores serial semantics: the first failure (by batch
+	// index, matching what an in-order serial run would hit first)
+	// cancels the batch instead of being quarantined.
+	FailFast bool
+	// Retries is the maximum number of re-executions for a cell whose
+	// error is marked transient (0 = never retry).
+	Retries int
+	// Backoff is the sleep before the first retry, doubling per attempt
+	// (capped at 32x). Zero means no sleep, which tests use to keep
+	// retry loops fast. Backoff waits are cancellable.
+	Backoff time.Duration
+	// OnDone, if non-nil, is invoked once per successful cell from a
+	// single collector goroutine — in completion order, never
+	// concurrently — for progress reporting and journaling. The first
+	// argument is the job's batch index.
+	OnDone func(int, Cell, T)
+}
+
+// Batch is the outcome of RunBatch: index-addressed results, the
+// quarantined failures, and retry accounting.
+type Batch[T any] struct {
+	// Results holds each job's value at its submission index; entries
+	// for failed or skipped cells are the zero value (check OK).
+	Results []T
+	// OK[i] reports whether job i produced a result.
+	OK []bool
+	// Failed lists quarantined cells in batch-index order.
+	Failed []*CellError
+	// Retried counts transient-failure re-executions that eventually
+	// succeeded or exhausted their budget.
+	Retried int
+	// Skipped counts jobs never started because the batch was cancelled
+	// (or a fail-fast failure occurred).
+	Skipped int
+}
+
+// Err returns nil when every cell succeeded, or an error summarizing
+// the quarantined failures (the lowest-indexed CellError, which is what
+// a serial in-order run would have reported first).
+func (b *Batch[T]) Err() error {
+	if len(b.Failed) == 0 {
+		return nil
+	}
+	if len(b.Failed) == 1 {
+		return b.Failed[0]
+	}
+	return fmt.Errorf("%d cells failed, first: %w", len(b.Failed), b.Failed[0])
 }
 
 // Parallelism normalizes a -j style setting: values <= 0 select
@@ -52,61 +189,52 @@ func Parallelism(j int) int {
 	return j
 }
 
-// Run executes jobs across at most parallelism workers (<= 0 meaning
-// GOMAXPROCS) and returns their results indexed identically to jobs.
-// onDone, if non-nil, is invoked once per successful job from a single
-// collector goroutine — in completion order, never concurrently — for
-// progress reporting.
+// RunBatch executes jobs across a bounded worker pool with the failure
+// semantics selected by opts. It returns a non-nil *Batch even on
+// error, so completed results remain usable (e.g. for journaled
+// resumption).
 //
-// Determinism: each job runs exactly once with no shared state, so
-// results are independent of parallelism and completion order. On
-// failure the error of the lowest-indexed failed job is returned
-// (matching what a serial in-order run would report first) and
-// remaining unstarted jobs are skipped. A panicking job fails the
-// whole batch with the panic value wrapped in the cell's identity.
-func Run[T any](jobs []Job[T], parallelism int, onDone func(Cell, T)) ([]T, error) {
-	n := len(jobs)
-	results := make([]T, n)
-	if n == 0 {
-		return results, nil
+// The returned error is non-nil only when the batch did not run to
+// completion: ctx was cancelled (the context error is returned after
+// in-flight cells finish) or FailFast stopped it (the lowest-indexed
+// *CellError is returned, and a fail-fast panic is re-raised with the
+// *CellError as the panic value). Quarantined failures in a completed
+// batch are reported via Batch.Failed / Batch.Err, not the error.
+//
+// Determinism: each job runs exactly once (plus identical-seed retries)
+// with no shared state, so results are independent of parallelism and
+// completion order.
+func RunBatch[T any](ctx context.Context, jobs []Job[T], opts Options[T]) (*Batch[T], error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	workers := Parallelism(parallelism)
+	n := len(jobs)
+	b := &Batch[T]{Results: make([]T, n), OK: make([]bool, n)}
+	if n == 0 {
+		return b, nil
+	}
+	workers := Parallelism(opts.Parallelism)
 	if workers > n {
 		workers = n
 	}
 
-	if workers == 1 {
-		// Serial fast path: no goroutines, in-order execution.
-		for i, j := range jobs {
-			v, err := j.Run()
-			if err != nil {
-				return nil, err
-			}
-			results[i] = v
-			if onDone != nil {
-				onDone(j.Cell, v)
-			}
-		}
-		return results, nil
-	}
-
-	errs := make([]error, n)
-	panics := make([]any, n)
+	cellErrs := make([]*CellError, n)
+	var retried atomic.Int64
 	var next atomic.Int64
 	next.Store(-1)
-	var bail atomic.Bool
+	var bail atomic.Bool // set by fail-fast failure; skips unstarted jobs
 
-	// Collector goroutine: serializes progress callbacks. The buffer
-	// holds every possible completion so workers never block on it.
+	// Collector goroutine: serializes OnDone callbacks. The buffer holds
+	// every possible completion so workers never block on it.
 	var doneCh chan int
 	var collectorDone chan struct{}
-	if onDone != nil {
+	if opts.OnDone != nil {
 		doneCh = make(chan int, n)
 		collectorDone = make(chan struct{})
 		go func() {
 			defer close(collectorDone)
 			for i := range doneCh {
-				onDone(jobs[i].Cell, results[i])
+				opts.OnDone(i, jobs[i].Cell, b.Results[i])
 			}
 		}()
 	}
@@ -118,11 +246,19 @@ func Run[T any](jobs []Job[T], parallelism int, onDone func(Cell, T)) ([]T, erro
 			defer wg.Done()
 			for {
 				i := int(next.Add(1))
-				if i >= n || bail.Load() {
+				if i >= n || bail.Load() || ctx.Err() != nil {
 					return
 				}
-				runOne(jobs, results, errs, panics, i, &bail)
-				if errs[i] == nil && panics[i] == nil && doneCh != nil {
+				ce := runCell(ctx, jobs, b.Results, i, opts, &retried)
+				if ce != nil {
+					cellErrs[i] = ce
+					if opts.FailFast {
+						bail.Store(true)
+					}
+					continue
+				}
+				b.OK[i] = true
+				if doneCh != nil {
 					doneCh <- i
 				}
 			}
@@ -134,33 +270,125 @@ func Run[T any](jobs []Job[T], parallelism int, onDone func(Cell, T)) ([]T, erro
 		<-collectorDone
 	}
 
-	for i := range jobs {
-		if panics[i] != nil {
-			panic(fmt.Sprintf("runner: job %d (%s) panicked: %v", i, jobs[i].Cell, panics[i]))
-		}
-		if errs[i] != nil {
-			return nil, errs[i]
+	b.Retried = int(retried.Load())
+	for i, ce := range cellErrs {
+		if ce != nil {
+			ce.Index = i
+			b.Failed = append(b.Failed, ce)
 		}
 	}
-	return results, nil
+	for _, ok := range b.OK {
+		if !ok {
+			b.Skipped++
+		}
+	}
+	b.Skipped -= len(b.Failed)
+
+	if opts.FailFast {
+		if err := b.Err(); err != nil {
+			var ce *CellError
+			if errors.As(err, &ce) && ce.Panicked() {
+				// Preserve pre-quarantine semantics: a panicking cell
+				// under fail-fast crashes the batch — but with the typed
+				// *CellError carrying the original panic value and stack,
+				// not a flattened string.
+				panic(ce)
+			}
+			return b, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return b, fmt.Errorf("runner: batch cancelled after %d/%d cells: %w",
+			n-b.Skipped-len(b.Failed), n, err)
+	}
+	return b, nil
 }
 
-// runOne executes jobs[i], capturing errors and panics so one bad cell
-// fails the batch instead of crashing a worker goroutine.
-func runOne[T any](jobs []Job[T], results []T, errs []error, panics []any, i int, bail *atomic.Bool) {
+// runCell executes jobs[i] with panic capture and bounded retry for
+// transient errors; it returns the quarantine record, or nil on success.
+func runCell[T any](ctx context.Context, jobs []Job[T], results []T, i int, opts Options[T], retried *atomic.Int64) *CellError {
+	attempts := 0
+	for {
+		attempts++
+		err, pv, stack := attemptCell(jobs, results, i)
+		if err == nil && pv == nil {
+			return nil
+		}
+		if pv == nil && IsTransient(err) && attempts <= opts.Retries && ctx.Err() == nil {
+			if backoff(ctx, opts.Backoff, attempts-1) {
+				retried.Add(1)
+				continue
+			}
+			// Cancelled mid-backoff: report the underlying failure.
+		}
+		return &CellError{Cell: jobs[i].Cell, Attempts: attempts, Err: err, PanicValue: pv, Stack: stack}
+	}
+}
+
+// attemptCell runs one execution of jobs[i], converting a panic into a
+// captured (value, stack) pair instead of crashing the worker.
+func attemptCell[T any](jobs []Job[T], results []T, i int) (err error, panicValue any, stack []byte) {
 	defer func() {
 		if p := recover(); p != nil {
-			panics[i] = p
-			bail.Store(true)
+			panicValue = p
+			buf := make([]byte, 64<<10)
+			stack = buf[:runtime.Stack(buf, false)]
 		}
 	}()
 	v, err := jobs[i].Run()
 	if err != nil {
-		errs[i] = err
-		bail.Store(true)
-		return
+		return err, nil, nil
 	}
 	results[i] = v
+	return nil, nil, nil
+}
+
+// backoff sleeps for base << attempt (capped at 32x base), honouring
+// cancellation; it reports whether the wait completed.
+func backoff(ctx context.Context, base time.Duration, attempt int) bool {
+	if base <= 0 {
+		return true
+	}
+	shift := attempt
+	if shift > 5 {
+		shift = 5
+	}
+	t := time.NewTimer(base << uint(shift))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// Run executes jobs across at most parallelism workers (<= 0 meaning
+// GOMAXPROCS) and returns their results indexed identically to jobs.
+// onDone, if non-nil, is invoked once per successful job from a single
+// collector goroutine — in completion order, never concurrently — for
+// progress reporting.
+//
+// Run is the fail-fast convenience form of RunBatch: on failure the
+// error of the lowest-indexed failed job is returned (matching what a
+// serial in-order run would report first) and remaining unstarted jobs
+// are skipped. A panicking job fails the whole batch by re-panicking
+// with a *CellError that preserves the original panic value and stack.
+func Run[T any](jobs []Job[T], parallelism int, onDone func(Cell, T)) ([]T, error) {
+	opts := Options[T]{Parallelism: parallelism, FailFast: true}
+	if onDone != nil {
+		opts.OnDone = func(_ int, c Cell, v T) { onDone(c, v) }
+	}
+	b, err := RunBatch(context.Background(), jobs, opts)
+	if err != nil {
+		var ce *CellError
+		if errors.As(err, &ce) && ce.Err != nil {
+			// Historical contract: return the job's own error value.
+			return nil, ce.Err
+		}
+		return nil, err
+	}
+	return b.Results, nil
 }
 
 // Map runs fn(i) for every i in [0, n) across at most parallelism

@@ -8,8 +8,6 @@
 // fully deterministic for a given configuration and seed.
 package sim
 
-import "fmt"
-
 // Time is a point in simulated time, measured in CPU clock cycles.
 type Time = uint64
 
@@ -89,11 +87,13 @@ func (e *Engine) Schedule(delay Time, fn func()) {
 	e.ScheduleAt(e.now+delay, fn)
 }
 
-// ScheduleAt runs fn at absolute time t. Scheduling in the past panics:
-// it always indicates a component bookkeeping bug.
+// ScheduleAt runs fn at absolute time t. Scheduling in the past always
+// indicates a component bookkeeping bug; it unwinds with a typed
+// *PastEventError fault, which the core run API converts into a
+// returned error at its boundary (see Fault).
 func (e *Engine) ScheduleAt(t Time, fn func()) {
 	if t < e.now {
-		panic(fmt.Sprintf("sim: event scheduled in the past (t=%d, now=%d)", t, e.now))
+		panic(&PastEventError{T: t, Now: e.now})
 	}
 	e.seq++
 	ev := event{when: t, seq: e.seq, fn: fn}

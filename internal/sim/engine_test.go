@@ -106,16 +106,21 @@ func TestEnginePanicsOnPastEvent(t *testing.T) {
 				t.Error("scheduling in the past did not panic")
 				return
 			}
-			// The message must include both offending times for
-			// debuggability.
-			msg, ok := p.(string)
+			// The panic must carry the typed fault — so the core run
+			// boundary can convert it into a returned error — and its
+			// message must include both offending times.
+			fault, ok := p.(*PastEventError)
 			if !ok {
-				t.Errorf("panic value = %T, want string", p)
+				t.Errorf("panic value = %T, want *PastEventError", p)
 				return
 			}
+			if fault.T != 5 || fault.Now != 10 {
+				t.Errorf("fault = %+v, want T=5 Now=10", fault)
+			}
+			var _ Fault = fault // must satisfy the marker interface
 			for _, want := range []string{"t=5", "now=10"} {
-				if !strings.Contains(msg, want) {
-					t.Errorf("panic message %q missing %q", msg, want)
+				if !strings.Contains(fault.Error(), want) {
+					t.Errorf("fault message %q missing %q", fault.Error(), want)
 				}
 			}
 		}()
