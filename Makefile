@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test short race bench bench-baseline ci
+.PHONY: build test short race bench bench-baseline serve ci
 
 build:
 	$(GO) build ./...
@@ -19,15 +19,24 @@ short:
 race:
 	$(GO) test -race -timeout 60m ./...
 
+# Run the simulation-as-a-service daemon on the default port with a
+# persistent result cache (warm restarts). See README "Serving mode".
+serve:
+	$(GO) run ./cmd/refschedd -journal refschedd.cache.json
+
 # The merge gate: build, vet, the short test suite, then the race
 # detector over the concurrency-bearing packages (the worker pool, the
-# fault injector, the journal, and the event engine — which also guards
-# the hot path's 0 allocs/op via TestEngineScheduleIsAllocationFree).
+# fault injector, the journal, the event engine — which also guards the
+# hot path's 0 allocs/op via TestEngineScheduleIsAllocationFree — and
+# the serving daemon), and finally the daemon smoke drill: the real
+# binary on an ephemeral port, /healthz, a figure round-trip through
+# the cache, and a SIGTERM drain to exit 0.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -short ./...
-	$(GO) test -race -timeout 10m ./internal/runner/ ./internal/chaos/ ./internal/journal/ ./internal/sim/
+	$(GO) test -race -timeout 10m ./internal/runner/ ./internal/chaos/ ./internal/journal/ ./internal/sim/ ./internal/service/
+	$(GO) test -count=1 -run 'TestDaemonSmoke' ./cmd/refschedd/
 
 # One regeneration per figure benchmark plus the substrate
 # microbenchmarks (allocs/op for the event-engine hot path).

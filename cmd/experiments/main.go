@@ -36,6 +36,7 @@ import (
 	"strings"
 	"time"
 
+	"refsched/internal/buildinfo"
 	"refsched/internal/chaos"
 	"refsched/internal/harness"
 	"refsched/internal/runner"
@@ -44,6 +45,7 @@ import (
 
 func main() {
 	var (
+		version   = flag.Bool("version", false, "print version and exit")
 		quick     = flag.Bool("quick", false, "fast preset: larger time scale, fewer mixes, scaled footprints")
 		scale     = flag.Uint64("scale", 0, "override time-scale factor (0 = preset)")
 		mixes     = flag.String("mixes", "", "comma-separated mix subset, e.g. WL-1,WL-6 (empty = preset)")
@@ -63,6 +65,11 @@ func main() {
 		chaosMode = flag.String("chaos-mode", "transient", "fault shape: transient|error|panic|stall|mixed")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
 
 	p := harness.DefaultParams()
 	if *quick {
@@ -145,83 +152,19 @@ func main() {
 	}
 }
 
-// runTarget runs one CLI target and returns how many of its sweep cells
-// were quarantined.
+// runTarget runs one CLI target through harness.RunFigure — the same
+// dispatch point the serving daemon uses, which is what keeps a served
+// figure byte-identical to this CLI's output — and returns how many of
+// its sweep cells were quarantined. Partial results (e.g. an "all" run
+// interrupted midway) are still printed before the error is returned.
 func runTarget(target string, p harness.Params) (int, error) {
+	rs, err := harness.RunFigure(target, p)
 	quarantined := 0
-	emit := func(rs ...*harness.Result) {
-		for _, r := range rs {
-			quarantined += len(r.Failed)
-			fmt.Println(r)
-		}
+	for _, r := range rs {
+		quarantined += len(r.Failed)
+		fmt.Println(r)
 	}
-	switch target {
-	case "all":
-		rs, err := harness.All(p)
-		emit(rs...)
-		return quarantined, err
-	case "table1":
-		emit(harness.Table1(p))
-	case "table2":
-		emit(harness.Table2Result())
-	case "fig3":
-		r, err := harness.Fig3(p)
-		if err != nil {
-			return quarantined, err
-		}
-		emit(r)
-	case "fig4":
-		r, err := harness.Fig4(p)
-		if err != nil {
-			return quarantined, err
-		}
-		emit(r)
-	case "fig5":
-		r, err := harness.Fig5(p)
-		if err != nil {
-			return quarantined, err
-		}
-		emit(r)
-	case "fig10", "fig11":
-		r10, r11, err := harness.Fig10(p, false)
-		if err != nil {
-			return quarantined, err
-		}
-		emit(r10, r11)
-	case "fig12":
-		r, err := harness.Fig12(p)
-		if err != nil {
-			return quarantined, err
-		}
-		emit(r)
-	case "fig13":
-		r13, r13lat, err := harness.Fig10(p, true)
-		if err != nil {
-			return quarantined, err
-		}
-		emit(r13, r13lat)
-	case "fig14":
-		r, err := harness.Fig14(p)
-		if err != nil {
-			return quarantined, err
-		}
-		emit(r)
-	case "fig15":
-		r, err := harness.Fig15(p)
-		if err != nil {
-			return quarantined, err
-		}
-		emit(r)
-	case "ext1", "extensions":
-		r, err := harness.Extensions(p)
-		if err != nil {
-			return quarantined, err
-		}
-		emit(r)
-	default:
-		return 0, fmt.Errorf("unknown target %q", target)
-	}
-	return quarantined, nil
+	return quarantined, err
 }
 
 // benchRecorder accumulates the -bench-json perf baseline: wall-clock

@@ -1,0 +1,163 @@
+// Command refschedd serves the paper's experiments as a long-running
+// daemon: simulation-as-a-service over HTTP/JSON on top of the same
+// harness the batch CLIs use, with a bounded prioritized job queue,
+// single-flight dedup of identical in-flight requests, and a sharded
+// byte-budget LRU result cache keyed by the parameter fingerprint.
+//
+// API:
+//
+//	POST /v1/jobs                 enqueue a figure or single-cell job
+//	GET  /v1/jobs/{id}            job status (progress, typed failures)
+//	GET  /v1/jobs/{id}/events     NDJSON progress stream (replay + live)
+//	GET  /v1/figures/{name}       synchronous cached-or-computed figure;
+//	                              the body is byte-identical to what
+//	                              cmd/experiments prints for that target
+//	GET  /healthz                 liveness + build version
+//	GET  /statsz                  queue depth, cache hit ratio, per-figure
+//	                              latency quantiles
+//
+// Admission control returns 429 + Retry-After once the queue is full.
+// SIGINT/SIGTERM drain gracefully: in-flight jobs get -drain to finish,
+// then the result cache is persisted to -journal (if set) so the next
+// start serves previously computed figures instantly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"refsched/internal/buildinfo"
+	"refsched/internal/harness"
+	"refsched/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8372", "listen address (port 0 = ephemeral; see -port-file)")
+		portFile = flag.String("port-file", "", "write the bound port number to this file once listening")
+		version  = flag.Bool("version", false, "print version and exit")
+
+		quick   = flag.Bool("quick", false, "fast preset: larger time scale, fewer mixes, scaled footprints")
+		scale   = flag.Uint64("scale", 0, "override time-scale factor (0 = preset)")
+		mixes   = flag.String("mixes", "", "comma-separated mix subset, e.g. WL-1,WL-6 (empty = preset)")
+		windows = flag.Int("windows", 0, "override measurement windows (0 = preset)")
+		fpScale = flag.Float64("footprint-scale", 0, "override footprint multiplier (0 = preset)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		verbose = flag.Bool("v", false, "log each simulation cell as it completes")
+
+		jobs       = flag.Int("j", 0, "global budget of concurrently simulating cells (0 = all CPUs, <0 = unbounded)")
+		workers    = flag.Int("workers", 0, "jobs executing concurrently (0 = default 2)")
+		queueDepth = flag.Int("queue-depth", 0, "queued-job bound before 429 (0 = default 64)")
+		cacheMB    = flag.Int64("cache-mb", 0, "result cache budget in MiB (0 = default 64)")
+		shards     = flag.Int("cache-shards", 0, "result cache shard count (0 = default 8)")
+		journal    = flag.String("journal", "", "persist the result cache here on shutdown and warm from it on start")
+		drain      = flag.Duration("drain", 0, "how long shutdown waits for in-flight jobs (0 = default 30s)")
+	)
+	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "refschedd: unexpected arguments %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	p := harness.DefaultParams()
+	if *quick {
+		p = harness.QuickParams()
+	}
+	if *scale != 0 {
+		p.Scale = *scale
+	}
+	if *mixes != "" {
+		p.Mixes = strings.Split(*mixes, ",")
+	}
+	if *windows != 0 {
+		p.MeasureWindows = *windows
+	}
+	if *fpScale != 0 {
+		p.FootprintScale = *fpScale
+	}
+	p.Seed = *seed
+	p.Verbose = *verbose
+
+	svc, err := service.New(service.Config{
+		Params:       p,
+		QueueDepth:   *queueDepth,
+		Workers:      *workers,
+		CellSlots:    *jobs,
+		CacheBytes:   *cacheMB << 20,
+		CacheShards:  *shards,
+		JournalPath:  *journal,
+		DrainTimeout: *drain,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "refschedd: %v\n", err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "refschedd: %v\n", err)
+		os.Exit(1)
+	}
+	if *portFile != "" {
+		port := ln.Addr().(*net.TCPAddr).Port
+		if err := os.WriteFile(*portFile, []byte(strconv.Itoa(port)+"\n"), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "refschedd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "refschedd: %s listening on %s\n", buildinfo.Get(), ln.Addr())
+
+	httpSrv := &http.Server{Handler: svc}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "refschedd: %v\n", err)
+		os.Exit(1)
+	}
+	stop()
+
+	// Drain: finish in-flight jobs (bounded by -drain), persist the
+	// cache, then let in-flight HTTP responses flush.
+	fmt.Fprintln(os.Stderr, "refschedd: draining")
+	shutCtx, cancel := context.WithTimeout(context.Background(), svcDrainBudget(*drain))
+	defer cancel()
+	if err := svc.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "refschedd: drain: %v\n", err)
+		httpSrv.Shutdown(shutCtx)
+		os.Exit(1)
+	}
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "refschedd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "refschedd: drained cleanly")
+}
+
+// svcDrainBudget gives the whole shutdown sequence a hard ceiling a
+// little past the service drain deadline, so a wedged job cannot hang
+// the process forever.
+func svcDrainBudget(drain time.Duration) time.Duration {
+	if drain <= 0 {
+		drain = 30 * time.Second
+	}
+	return drain + 15*time.Second
+}

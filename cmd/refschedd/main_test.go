@@ -1,0 +1,127 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDaemonSmoke is the end-to-end drill `make ci` runs: build the
+// real binary, bring it up on an ephemeral port, round-trip a figure
+// through the cache, and check SIGTERM drains to a clean exit 0.
+func TestDaemonSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the daemon binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "refschedd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	portFile := filepath.Join(dir, "port")
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-port-file", portFile,
+		"-quick", "-journal", filepath.Join(dir, "cache.json"))
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	defer cmd.Process.Kill()
+
+	base := waitReady(t, portFile, exited)
+
+	// Figure round-trip: miss computes, hit serves the same bytes.
+	body1 := getFigure(t, base, "miss")
+	body2 := getFigure(t, base, "hit")
+	if body1 != body2 {
+		t.Fatal("cache hit served different bytes than the miss")
+	}
+	if !strings.Contains(body1, "table1") {
+		t.Fatalf("unexpected figure body:\n%s", body1)
+	}
+
+	// SIGTERM drains to exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("daemon exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}
+
+// waitReady polls the port file and /healthz until the daemon answers.
+func waitReady(t *testing.T, portFile string, exited <-chan error) string {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		select {
+		case err := <-exited:
+			t.Fatalf("daemon exited before becoming ready: %v", err)
+		default:
+		}
+		if raw, err := os.ReadFile(portFile); err == nil {
+			base := "http://127.0.0.1:" + strings.TrimSpace(string(raw))
+			resp, err := http.Get(base + "/healthz")
+			if err == nil {
+				ok := resp.StatusCode == http.StatusOK
+				resp.Body.Close()
+				if ok {
+					return base
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never became healthy")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func getFigure(t *testing.T, base, wantCache string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/figures/table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("figure status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Cache"); got != wantCache {
+		t.Fatalf("X-Cache = %q, want %q", got, wantCache)
+	}
+	return string(body)
+}
+
+// TestVersionFlag: -version prints the build stamp and exits 0.
+func TestVersionFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs the go tool")
+	}
+	out, err := exec.Command("go", "run", ".", "-version").Output()
+	if err != nil {
+		t.Fatalf("-version: %v", err)
+	}
+	if !strings.Contains(string(out), "refsched") {
+		t.Fatalf("-version output = %q", out)
+	}
+}

@@ -29,12 +29,14 @@ import (
 	"strings"
 
 	"refsched"
+	"refsched/internal/buildinfo"
 	"refsched/internal/journal"
 	"refsched/internal/runner"
 )
 
 func main() {
 	var (
+		version  = flag.Bool("version", false, "print version and exit")
 		mixNames = flag.String("mix", "WL-1", "Table 2 mix name, or a comma-separated list to run several")
 		benchCSV = flag.String("bench", "", "explicit benchmark list (overrides -mix), e.g. mcf,mcf,povray")
 		density  = flag.Int("density", 32, "DRAM density in Gb (8/16/24/32)")
@@ -54,6 +56,11 @@ func main() {
 		resume      = flag.Bool("resume", false, "skip runs already recorded in the journal (requires -journal)")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
 
 	if *resume && *journalPath == "" {
 		fatal(errors.New("-resume requires -journal FILE"))

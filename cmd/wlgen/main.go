@@ -3,6 +3,10 @@
 // through a standalone cache hierarchy to report its intrinsic MPKI,
 // reuse profile, and footprint coverage — useful when calibrating new
 // benchmark models.
+//
+// Exit codes follow the usual CLI convention: 0 on success, 2 on usage
+// errors (bad flag values, an unknown benchmark name), 1 on runtime
+// failures.
 package main
 
 import (
@@ -10,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"refsched/internal/buildinfo"
 	"refsched/internal/cache"
 	"refsched/internal/config"
 	"refsched/internal/sim"
@@ -18,12 +23,26 @@ import (
 
 func main() {
 	var (
-		bench  = flag.String("bench", "", "benchmark to profile (empty = list all)")
-		n      = flag.Uint64("n", 5_000_000, "instructions to simulate")
-		fp     = flag.Float64("footprint-scale", 0.05, "footprint multiplier for the dry run")
-		sample = flag.Int("sample", 0, "print the first N stream segments")
+		version = flag.Bool("version", false, "print version and exit")
+		bench   = flag.String("bench", "", "benchmark to profile (empty = list all)")
+		n       = flag.Uint64("n", 5_000_000, "instructions to simulate")
+		fp      = flag.Float64("footprint-scale", 0.05, "footprint multiplier for the dry run")
+		sample  = flag.Int("sample", 0, "print the first N stream segments")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "wlgen: unexpected arguments %v (benchmarks are selected with -bench)\n", flag.Args())
+		os.Exit(2)
+	}
+	if *n == 0 || *fp <= 0 || *sample < 0 {
+		fmt.Fprintln(os.Stderr, "wlgen: -n must be > 0, -footprint-scale > 0, -sample >= 0")
+		os.Exit(2)
+	}
 
 	if *bench == "" {
 		fmt.Println("modeled benchmarks:")
@@ -40,8 +59,9 @@ func main() {
 
 	b, err := workload.Get(*bench)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "wlgen: %v\n", err)
-		os.Exit(1)
+		// Usage error, not a runtime failure: the name is wrong.
+		fmt.Fprintf(os.Stderr, "wlgen: %v\nwlgen: run without -bench to list the modeled benchmarks\n", err)
+		os.Exit(2)
 	}
 	cfg := config.Default(config.Density32Gb, 64)
 	hier, err := cache.NewHierarchy(cfg.L1, cfg.L2)

@@ -1,0 +1,86 @@
+// Package buildinfo derives a single version string for every binary
+// in the module from the information the Go toolchain already embeds
+// (debug.ReadBuildInfo): the module version when built from a tagged
+// module, otherwise the VCS revision and commit time stamped by
+// `go build`, otherwise "devel". All four CLIs expose it behind a
+// -version flag and the serving daemon reports it in /healthz, so a
+// deployed binary can always be traced back to the source that built
+// it without a hand-maintained version constant.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the build identity shared by the -version flags and the
+// daemon's /healthz payload.
+type Info struct {
+	// Module is the module path ("refsched").
+	Module string `json:"module"`
+	// Version is the module version ("(devel)" for source builds).
+	Version string `json:"version"`
+	// Revision and RevisionTime identify the VCS commit when the
+	// binary was built inside a checkout ("" otherwise).
+	Revision     string `json:"revision,omitempty"`
+	RevisionTime string `json:"revision_time,omitempty"`
+	// Dirty reports uncommitted changes in the build checkout.
+	Dirty bool `json:"dirty,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+// read is swapped out by tests.
+var read = debug.ReadBuildInfo
+
+// Get collects the build identity of the running binary. It never
+// fails: a binary built without module support (e.g. a bare
+// `go run file.go`) reports "unknown".
+func Get() Info {
+	info := Info{Module: "refsched", Version: "unknown", GoVersion: runtime.Version()}
+	bi, ok := read()
+	if !ok {
+		return info
+	}
+	if bi.Main.Path != "" {
+		info.Module = bi.Main.Path
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.RevisionTime = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the identity on one line, the format the -version
+// flags print: "refsched (devel) go1.24.0 rev abc1234 (dirty)".
+func (i Info) String() string {
+	s := fmt.Sprintf("%s %s %s", i.Module, i.Version, i.GoVersion)
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev " + rev
+		if i.RevisionTime != "" {
+			s += " " + i.RevisionTime
+		}
+	}
+	if i.Dirty {
+		s += " (dirty)"
+	}
+	return s
+}
+
+// Version is shorthand for Get().String().
+func Version() string { return Get().String() }

@@ -1,0 +1,54 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func withBuildInfo(t *testing.T, bi *debug.BuildInfo, ok bool) {
+	t.Helper()
+	orig := read
+	read = func() (*debug.BuildInfo, bool) { return bi, ok }
+	t.Cleanup(func() { read = orig })
+}
+
+func TestGetWithoutBuildInfo(t *testing.T) {
+	withBuildInfo(t, nil, false)
+	i := Get()
+	if i.Module != "refsched" || i.Version != "unknown" {
+		t.Fatalf("fallback identity = %+v", i)
+	}
+	if i.GoVersion == "" {
+		t.Fatal("GoVersion must always be set")
+	}
+}
+
+func TestGetReadsVCSStamps(t *testing.T) {
+	bi := &debug.BuildInfo{}
+	bi.Main.Path = "refsched"
+	bi.Main.Version = "(devel)"
+	bi.Settings = []debug.BuildSetting{
+		{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+		{Key: "vcs.time", Value: "2026-08-06T00:00:00Z"},
+		{Key: "vcs.modified", Value: "true"},
+	}
+	withBuildInfo(t, bi, true)
+
+	i := Get()
+	if i.Revision != "0123456789abcdef0123" || !i.Dirty {
+		t.Fatalf("vcs stamps not read: %+v", i)
+	}
+	s := i.String()
+	for _, want := range []string{"refsched", "(devel)", "rev 0123456789ab", "(dirty)", "2026-08-06"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestRealBuildInfoDoesNotPanic(t *testing.T) {
+	if v := Version(); v == "" {
+		t.Fatal("empty version string")
+	}
+}

@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"refsched/internal/config"
+	"refsched/internal/core"
+)
+
+// FigureNames lists the CLI targets RunFigure accepts, in the order
+// cmd/experiments documents them. "all" (every target in sequence) is
+// accepted by RunFigure but deliberately absent here: the list is what
+// services enumerate as individually addressable figures.
+func FigureNames() []string {
+	return []string{
+		"table1", "table2",
+		"fig3", "fig4", "fig5", "fig10", "fig12", "fig13", "fig14", "fig15",
+		"ext1",
+	}
+}
+
+// RunFigure runs one named CLI target and returns its rendered
+// results — one Result for most targets, two for the paired figures
+// (fig10 also yields fig11; fig13 its latency table). It is the single
+// dispatch point shared by cmd/experiments and the serving daemon, so
+// a figure served over HTTP is produced by exactly the code path the
+// batch CLI prints.
+func RunFigure(name string, p Params) ([]*Result, error) {
+	switch name {
+	case "all":
+		return All(p)
+	case "table1":
+		return []*Result{Table1(p)}, nil
+	case "table2":
+		return []*Result{Table2Result()}, nil
+	case "fig3":
+		return one(Fig3(p))
+	case "fig4":
+		return one(Fig4(p))
+	case "fig5":
+		return one(Fig5(p))
+	case "fig10", "fig11":
+		r10, r11, err := Fig10(p, false)
+		if err != nil {
+			return nil, err
+		}
+		return []*Result{r10, r11}, nil
+	case "fig12":
+		return one(Fig12(p))
+	case "fig13":
+		r13, r13lat, err := Fig10(p, true)
+		if err != nil {
+			return nil, err
+		}
+		return []*Result{r13, r13lat}, nil
+	case "fig14":
+		return one(Fig14(p))
+	case "fig15":
+		return one(Fig15(p))
+	case "ext1", "extensions":
+		return one(Extensions(p))
+	}
+	return nil, fmt.Errorf("unknown target %q", name)
+}
+
+func one(r *Result, err error) ([]*Result, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []*Result{r}, nil
+}
+
+// bundles maps the bundle names the figures print to their policy
+// combinations, for single-cell requests addressed by name.
+var bundles = map[string]bundle{
+	bundleNone.name:     bundleNone,
+	bundleAllBank.name:  bundleAllBank,
+	bundlePerBank.name:  bundlePerBank,
+	bundleOOO.name:      bundleOOO,
+	bundleFGR2x.name:    bundleFGR2x,
+	bundleFGR4x.name:    bundleFGR4x,
+	bundleAdaptive.name: bundleAdaptive,
+	bundleCoDesign.name: bundleCoDesign,
+}
+
+// BundleNames lists the policy-bundle names RunCell accepts, sorted
+// for deterministic display.
+func BundleNames() []string {
+	names := make([]string, 0, len(bundles))
+	for n := range bundles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseDensity parses a density name as the figures print it ("32Gb",
+// case-insensitive, bare "32" accepted) into a validated config
+// density.
+func ParseDensity(s string) (config.Density, error) {
+	t := strings.TrimSuffix(strings.ToLower(strings.TrimSpace(s)), "gb")
+	n, err := strconv.Atoi(t)
+	if err != nil {
+		return 0, fmt.Errorf("invalid density %q (want e.g. 32Gb)", s)
+	}
+	for _, d := range config.Densities {
+		if int(d) == n {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("unsupported density %q (want one of %v)", s, config.Densities)
+}
+
+// RunCell simulates one fully addressed cell — mix × density × policy
+// bundle, optionally at >85C retention — through the same fault
+// boundary as the figure sweeps (quarantine, retry, chaos, and the
+// injected CellRunner all apply), so a daemon serving single-cell jobs
+// gets identical semantics to whole-figure jobs. The sweep is the
+// one-cell figure "cell".
+func RunCell(p Params, mixName, density, bundleName string, highTemp bool) (*core.Report, error) {
+	ms := selectMixes([]string{mixName})
+	if len(ms) != 1 {
+		return nil, fmt.Errorf("unknown mix %q (want WL-1..WL-10)", mixName)
+	}
+	d, err := ParseDensity(density)
+	if err != nil {
+		return nil, err
+	}
+	b, ok := bundles[bundleName]
+	if !ok {
+		return nil, fmt.Errorf("unknown bundle %q (want one of %v)", bundleName, BundleNames())
+	}
+	job := p.bundleJob(cellKey(ms[0].Name, d.String(), b.name), d, b, highTemp, ms[0])
+	out, failed, err := p.runCells("cell", []cellJob{job})
+	if err != nil {
+		return nil, err
+	}
+	if len(failed) > 0 {
+		return nil, failed[0]
+	}
+	rep, ok := out[job.key]
+	if !ok {
+		return nil, fmt.Errorf("cell %s produced no report", job.key)
+	}
+	return rep, nil
+}

@@ -72,7 +72,21 @@ type Params struct {
 	// Chaos, when non-nil, deterministically injects faults into a
 	// fraction of cells (tests and failure drills only).
 	Chaos *chaos.Injector
+	// CellRunner, when non-nil, replaces the direct runner.RunBatch
+	// call that executes a sweep's enumerated cells. It is the hook the
+	// serving daemon uses to wrap every figure driver without forking
+	// them: counting executions, imposing a global priority gate across
+	// concurrent jobs, and streaming per-cell progress by decorating
+	// opts.OnDone. Implementations must preserve RunBatch's contract
+	// (index-addressed results; OnDone called from one goroutine) —
+	// delegating to runner.RunBatch after adjusting opts is the
+	// intended shape.
+	CellRunner CellRunner
 }
+
+// CellRunner executes the enumerated cells of one figure sweep; figID
+// names the sweep for keying and display. See Params.CellRunner.
+type CellRunner func(ctx context.Context, figID string, jobs []runner.Job[*core.Report], opts runner.Options[*core.Report]) (*runner.Batch[*core.Report], error)
 
 // DefaultRetries is the transient-error retry budget used when
 // Params.Retries is zero.

@@ -157,7 +157,7 @@ func TestFig10JournalResumeByteIdentical(t *testing.T) {
 	}
 
 	// The journal holds exactly the healthy cells.
-	jnl, err := journal.Open(filepath.Join(dir, "fig10.journal.json"), p.fingerprint())
+	jnl, err := journal.Open(filepath.Join(dir, "fig10.journal.json"), p.Fingerprint())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +215,7 @@ func TestFingerprintCoversResultKnobs(t *testing.T) {
 	for name, mutate := range mutations {
 		q := base
 		mutate(&q)
-		if q.fingerprint() == base.fingerprint() {
+		if q.Fingerprint() == base.Fingerprint() {
 			t.Errorf("changing %s does not change the journal fingerprint", name)
 		}
 	}

@@ -37,11 +37,14 @@ func (p Params) bundleJob(key string, d config.Density, b bundle, highTemp bool,
 	}
 }
 
-// fingerprint identifies the parameter set a journal's entries are
+// Fingerprint identifies the parameter set a journal's entries are
 // valid for: every knob that changes a cell's simulated result. Mix
 // selection is deliberately absent — it changes which cells exist, not
 // what any cell computes, and cells are already keyed individually.
-func (p Params) fingerprint() string {
+// (Callers keying whole rendered figures — the serving daemon's result
+// cache — must additionally key on the mix selection, since it changes
+// which rows a figure renders.)
+func (p Params) Fingerprint() string {
 	return fmt.Sprintf("v1 scale=%d fp=%g warm=%d meas=%d seed=%d",
 		p.Scale, p.FootprintScale, p.WarmupWindows, p.MeasureWindows, p.Seed)
 }
@@ -60,7 +63,7 @@ func (p Params) openJournal(figID string) (*journal.Journal, error) {
 	if p.JournalDir == "" {
 		return nil, nil
 	}
-	return journal.Open(filepath.Join(p.JournalDir, figID+".journal.json"), p.fingerprint())
+	return journal.Open(filepath.Join(p.JournalDir, figID+".journal.json"), p.Fingerprint())
 }
 
 // runCells executes a sweep's cells across Params.Parallelism workers
@@ -126,13 +129,20 @@ func (p Params) runCells(figID string, jobs []cellJob) (map[string]*core.Report,
 		}
 	}
 
-	batch, err := runner.RunBatch(p.ctx(), rjobs, runner.Options[*core.Report]{
+	ropts := runner.Options[*core.Report]{
 		Parallelism: p.Parallelism,
 		FailFast:    p.FailFast,
 		Retries:     p.retries(),
 		Backoff:     p.RetryBackoff,
 		OnDone:      onDone,
-	})
+	}
+	execute := p.CellRunner
+	if execute == nil {
+		execute = func(ctx context.Context, _ string, jobs []runner.Job[*core.Report], opts runner.Options[*core.Report]) (*runner.Batch[*core.Report], error) {
+			return runner.RunBatch(ctx, jobs, opts)
+		}
+	}
+	batch, err := execute(p.ctx(), figID, rjobs, ropts)
 	for i, j := range toRun {
 		if batch.OK[i] {
 			out[j.key] = batch.Results[i]

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 )
 
 // file is the on-disk layout.
@@ -93,6 +94,44 @@ func (j *Journal) Lookup(key string, out any) bool {
 func (j *Journal) Has(key string) bool {
 	_, ok := j.f.Entries[key]
 	return ok
+}
+
+// Each calls fn for every recorded entry in sorted key order, handing
+// over the raw JSON so the caller decodes into its own type. It is how
+// a restarted daemon warms its result cache from the journal without
+// knowing up front which keys survived the previous run.
+func (j *Journal) Each(fn func(key string, raw json.RawMessage)) {
+	keys := make([]string, 0, len(j.f.Entries))
+	for k := range j.f.Entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fn(k, j.f.Entries[k])
+	}
+}
+
+// RecordBatch stores every entry of batch and rewrites the journal
+// file once — the shutdown path for persisting a whole result cache,
+// where per-key flushes would turn an N-entry snapshot into N full
+// rewrites. An encoding failure leaves the in-memory and on-disk state
+// untouched.
+func (j *Journal) RecordBatch(batch map[string]any) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	encoded := make(map[string]json.RawMessage, len(batch))
+	for k, v := range batch {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return fmt.Errorf("journal: encoding %q: %w", k, err)
+		}
+		encoded[k] = raw
+	}
+	for k, raw := range encoded {
+		j.f.Entries[k] = raw
+	}
+	return j.flush()
 }
 
 // Record stores v as the completed result for key and atomically

@@ -1,6 +1,7 @@
 package journal
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -141,5 +142,74 @@ func TestJournalMissingDirErrors(t *testing.T) {
 	}
 	if err := j.Record("k", report{}); err == nil {
 		t.Fatal("recording into a missing directory must surface an error")
+	}
+}
+
+func TestJournalEachSortedAndRecordBatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.journal.json")
+	j, err := Open(path, "refschedd-cache-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := map[string]any{
+		"zeta":  "last",
+		"alpha": "first",
+		"mid":   "middle",
+	}
+	if err := j.RecordBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen as a fresh process and iterate: sorted keys, raw JSON intact.
+	j2, err := Open(path, "refschedd-cache-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys, vals []string
+	j2.Each(func(k string, raw json.RawMessage) {
+		keys = append(keys, k)
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			t.Fatalf("decoding %q: %v", k, err)
+		}
+		vals = append(vals, s)
+	})
+	if strings.Join(keys, ",") != "alpha,mid,zeta" {
+		t.Fatalf("Each order = %v, want sorted", keys)
+	}
+	if strings.Join(vals, ",") != "first,middle,last" {
+		t.Fatalf("Each values = %v", vals)
+	}
+}
+
+func TestRecordBatchEncodingFailureLeavesJournalUntouched(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.journal.json")
+	j, err := Open(path, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("keep", "me"); err != nil {
+		t.Fatal(err)
+	}
+	err = j.RecordBatch(map[string]any{"ok": 1, "bad": func() {}})
+	if err == nil {
+		t.Fatal("expected an encoding error")
+	}
+	if j.Len() != 1 || !j.Has("keep") || j.Has("ok") {
+		t.Fatalf("failed batch mutated the journal: len=%d", j.Len())
+	}
+}
+
+func TestRecordBatchEmptyIsNoop(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.journal.json")
+	j, err := Open(path, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("empty batch should not create the file")
 	}
 }

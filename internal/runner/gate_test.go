@@ -1,0 +1,87 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestGateBoundsConcurrency: a 1-slot gate must serialize cell
+// execution even when the pool has many workers.
+func TestGateBoundsConcurrency(t *testing.T) {
+	const n = 32
+	slot := make(chan struct{}, 1)
+	var inFlight, maxInFlight atomic.Int64
+
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		jobs[i] = Job[int]{Run: func() (int, error) {
+			cur := inFlight.Add(1)
+			for {
+				old := maxInFlight.Load()
+				if cur <= old || maxInFlight.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			inFlight.Add(-1)
+			return 1, nil
+		}}
+	}
+	b, err := RunBatch(context.Background(), jobs, Options[int]{
+		Parallelism: 8,
+		Gate: func(ctx context.Context) (func(), error) {
+			select {
+			case slot <- struct{}{}:
+				return func() { <-slot }, nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ok := range b.OK {
+		if !ok {
+			t.Fatalf("cell %d did not run", i)
+		}
+	}
+	if got := maxInFlight.Load(); got != 1 {
+		t.Fatalf("max in-flight = %d, want 1 under a 1-slot gate", got)
+	}
+}
+
+// TestGateCancellationSkipsCells: a gate that reports ctx ending makes
+// workers stop taking cells; never-started cells count as skipped.
+func TestGateCancellationSkipsCells(t *testing.T) {
+	const n = 16
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		jobs[i] = Job[int]{Run: func() (int, error) { ran.Add(1); return 1, nil }}
+	}
+	first := true
+	b, err := RunBatch(ctx, jobs, Options[int]{
+		Parallelism: 1,
+		Gate: func(ctx context.Context) (func(), error) {
+			if first {
+				first = false
+				return func() {}, nil
+			}
+			cancel()
+			return nil, ctx.Err()
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("ran = %d cells, want exactly the one admitted before cancel", got)
+	}
+	if b.Skipped != n-1 {
+		t.Fatalf("skipped = %d, want %d", b.Skipped, n-1)
+	}
+}

@@ -147,6 +147,18 @@ type Options[T any] struct {
 	// concurrently — for progress reporting and journaling. The first
 	// argument is the job's batch index.
 	OnDone func(int, Cell, T)
+	// Gate, if non-nil, is acquired before each cell executes and
+	// released when it finishes (covering all of its retries). It is
+	// the hook an external job scheduler uses to impose a global
+	// concurrency budget and per-job priority across batches that run
+	// simultaneously: each concurrent batch passes a Gate closed over
+	// its job's priority, and the shared gate admits cells
+	// highest-priority-first as slots free up. Gate must block until a
+	// slot is available and return a non-nil release function; the only
+	// permitted error is ctx ending, which makes the worker stop taking
+	// cells (the batch then reports the remaining cells as skipped,
+	// exactly like plain cancellation).
+	Gate func(ctx context.Context) (release func(), err error)
 }
 
 // Batch is the outcome of RunBatch: index-addressed results, the
@@ -249,7 +261,20 @@ func RunBatch[T any](ctx context.Context, jobs []Job[T], opts Options[T]) (*Batc
 				if i >= n || bail.Load() || ctx.Err() != nil {
 					return
 				}
+				var release func()
+				if opts.Gate != nil {
+					var err error
+					release, err = opts.Gate(ctx)
+					if err != nil {
+						// Only cancellation may surface here; the cell was
+						// never started, so it counts as skipped.
+						return
+					}
+				}
 				ce := runCell(ctx, jobs, b.Results, i, opts, &retried)
+				if release != nil {
+					release()
+				}
 				if ce != nil {
 					cellErrs[i] = ce
 					if opts.FailFast {

@@ -1,0 +1,177 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is the daemon's sharded, byte-budget-bounded LRU over rendered
+// results. Keys are request fingerprints (see requestKey); values are
+// the exact response bodies served to clients, so a hit costs a map
+// lookup and zero rendering. Sharding keeps the lock a render-sized
+// value is inserted under from serializing unrelated lookups; each
+// shard owns budget/shards bytes and runs strict LRU within it.
+//
+// Values are shared, not copied: callers must treat a returned slice
+// as immutable.
+type Cache struct {
+	shards []*cacheShard
+}
+
+// CacheStats is the aggregate the /statsz endpoint reports.
+type CacheStats struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	Entries   int     `json:"entries"`
+	Bytes     int64   `json:"bytes"`
+	Budget    int64   `json:"budget_bytes"`
+	HitRatio  float64 `json:"hit_ratio"`
+}
+
+type cacheShard struct {
+	mu      sync.Mutex
+	budget  int64
+	bytes   int64
+	order   *list.List               // front = most recent
+	entries map[string]*list.Element // key -> element whose Value is *cacheEntry
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// NewCache builds a cache bounded to budget bytes spread over nshards
+// LRU shards (values <= 0 select the defaults: 64 MiB, 8 shards).
+// Tests that need strict global LRU ordering use nshards = 1.
+func NewCache(budget int64, nshards int) *Cache {
+	if budget <= 0 {
+		budget = 64 << 20
+	}
+	if nshards <= 0 {
+		nshards = 8
+	}
+	c := &Cache{shards: make([]*cacheShard, nshards)}
+	per := budget / int64(nshards)
+	if per <= 0 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{
+			budget:  per,
+			order:   list.New(),
+			entries: map[string]*list.Element{},
+		}
+	}
+	return c
+}
+
+// shard picks the shard for key (FNV-1a).
+func (c *Cache) shard(key string) *cacheShard {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return c.shards[h%uint64(len(c.shards))]
+}
+
+func entrySize(key string, body []byte) int64 {
+	return int64(len(key) + len(body))
+}
+
+// Get returns the cached body for key and whether it was present,
+// promoting a hit to most-recently-used.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	s.hits++
+	s.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Contains reports presence without perturbing LRU order or counters.
+func (c *Cache) Contains(key string) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
+	return ok
+}
+
+// Put stores body under key, evicting least-recently-used entries in
+// the key's shard until the shard is back under budget. A body larger
+// than the whole shard budget is not cached at all — evicting the
+// entire shard to hold one giant entry would trade many future hits
+// for one.
+func (c *Cache) Put(key string, body []byte) {
+	s := c.shard(key)
+	size := entrySize(key, body)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if size > s.budget {
+		return
+	}
+	if el, ok := s.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		s.bytes += int64(len(body)) - int64(len(e.body))
+		e.body = body
+		s.order.MoveToFront(el)
+	} else {
+		s.entries[key] = s.order.PushFront(&cacheEntry{key: key, body: body})
+		s.bytes += size
+	}
+	for s.bytes > s.budget {
+		back := s.order.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		s.order.Remove(back)
+		delete(s.entries, e.key)
+		s.bytes -= entrySize(e.key, e.body)
+		s.evictions++
+	}
+}
+
+// Snapshot returns every live entry, the input to the shutdown path's
+// journal persistence. Bodies are shared (immutable by contract).
+func (c *Cache) Snapshot() map[string][]byte {
+	out := map[string][]byte{}
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for k, el := range s.entries {
+			out[k] = el.Value.(*cacheEntry).body
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Stats aggregates counters across shards.
+func (c *Cache) Stats() CacheStats {
+	var st CacheStats
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Evictions += s.evictions
+		st.Entries += len(s.entries)
+		st.Bytes += s.bytes
+		st.Budget += s.budget
+		s.mu.Unlock()
+	}
+	if total := st.Hits + st.Misses; total > 0 {
+		st.HitRatio = float64(st.Hits) / float64(total)
+	}
+	return st
+}

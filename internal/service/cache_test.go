@@ -1,0 +1,112 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCacheLRUEvictsOldestFirst fills a single-shard cache past its
+// byte budget and checks that the oldest (least recently used)
+// fingerprints fall out first while the newest stay resident.
+func TestCacheLRUEvictsOldestFirst(t *testing.T) {
+	// Each entry: 4-byte key + 96-byte body = 100 bytes; budget holds 5.
+	c := NewCache(500, 1)
+	body := make([]byte, 96)
+	for i := 0; i < 8; i++ {
+		c.Put(fmt.Sprintf("k%03d", i), body)
+	}
+	st := c.Stats()
+	if st.Entries != 5 || st.Evictions != 3 {
+		t.Fatalf("entries=%d evictions=%d, want 5 and 3", st.Entries, st.Evictions)
+	}
+	if st.Bytes > st.Budget {
+		t.Fatalf("bytes=%d over budget=%d", st.Bytes, st.Budget)
+	}
+	for i := 0; i < 3; i++ {
+		if c.Contains(fmt.Sprintf("k%03d", i)) {
+			t.Errorf("oldest key k%03d should have been evicted", i)
+		}
+	}
+	for i := 3; i < 8; i++ {
+		if !c.Contains(fmt.Sprintf("k%03d", i)) {
+			t.Errorf("recent key k%03d missing", i)
+		}
+	}
+}
+
+// TestCacheGetPromotes: touching an old entry saves it from the next
+// eviction.
+func TestCacheGetPromotes(t *testing.T) {
+	c := NewCache(300, 1) // holds 3 x (4+96)-byte entries
+	body := make([]byte, 96)
+	c.Put("k000", body)
+	c.Put("k001", body)
+	c.Put("k002", body)
+	if _, ok := c.Get("k000"); !ok {
+		t.Fatal("k000 should be resident")
+	}
+	c.Put("k003", body) // evicts k001, the now-least-recent
+	if !c.Contains("k000") || c.Contains("k001") {
+		t.Fatal("Get should have promoted k000 over k001")
+	}
+}
+
+func TestCacheHitRatio(t *testing.T) {
+	c := NewCache(1<<20, 4)
+	c.Put("a", []byte("body"))
+	c.Get("a")
+	c.Get("a")
+	c.Get("missing")
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", st.Hits, st.Misses)
+	}
+	if got, want := st.HitRatio, 2.0/3.0; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("hit ratio = %v, want %v", got, want)
+	}
+}
+
+// TestCacheRejectsOversizedBody: a value bigger than a shard's whole
+// budget is not cached (and does not wipe the shard to make room).
+func TestCacheRejectsOversizedBody(t *testing.T) {
+	c := NewCache(100, 1)
+	c.Put("small", make([]byte, 10))
+	c.Put("huge", make([]byte, 1000))
+	if c.Contains("huge") {
+		t.Fatal("oversized body should not be cached")
+	}
+	if !c.Contains("small") {
+		t.Fatal("existing entries must survive an oversized Put")
+	}
+}
+
+// TestCacheUpdateAdjustsBytes: replacing a body re-accounts its size.
+func TestCacheUpdateAdjustsBytes(t *testing.T) {
+	c := NewCache(1<<20, 1)
+	c.Put("k", make([]byte, 100))
+	c.Put("k", make([]byte, 10))
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes != int64(len("k")+10) {
+		t.Fatalf("entries=%d bytes=%d after shrink", st.Entries, st.Bytes)
+	}
+}
+
+// TestCacheShardedBudget: with many shards the total stays bounded by
+// the overall budget no matter how many entries are inserted.
+func TestCacheShardedBudget(t *testing.T) {
+	c := NewCache(4096, 8)
+	for i := 0; i < 500; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), make([]byte, 64))
+	}
+	st := c.Stats()
+	if st.Bytes > 4096 {
+		t.Fatalf("cache holds %d bytes, budget 4096", st.Bytes)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("expected evictions after overfilling")
+	}
+	snap := c.Snapshot()
+	if len(snap) != st.Entries {
+		t.Fatalf("snapshot has %d entries, stats say %d", len(snap), st.Entries)
+	}
+}

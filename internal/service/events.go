@@ -1,0 +1,85 @@
+package service
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// eventHub fans one job's progress events out to any number of NDJSON
+// stream subscribers. Events are retained for the job's lifetime so a
+// subscriber that connects mid-run (or after completion) replays the
+// full history before streaming live — every client sees the same
+// complete event sequence regardless of when it attached.
+type eventHub struct {
+	mu      sync.Mutex
+	history [][]byte
+	subs    map[chan []byte]struct{}
+	closed  bool
+}
+
+// subscriberBuffer bounds a slow subscriber; a full buffer drops the
+// event for that subscriber rather than stalling the job.
+const subscriberBuffer = 256
+
+func newEventHub() *eventHub {
+	return &eventHub{subs: map[chan []byte]struct{}{}}
+}
+
+// publish records v (JSON-encoded, one line) and delivers it to live
+// subscribers.
+func (h *eventHub) publish(v any) {
+	line, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.history = append(h.history, line)
+	for ch := range h.subs {
+		select {
+		case ch <- line:
+		default:
+		}
+	}
+}
+
+// subscribe returns the history so far plus a channel of subsequent
+// events; the channel is closed when the job finishes. cancel detaches
+// early (idempotent, safe after close).
+func (h *eventHub) subscribe() (replay [][]byte, events <-chan []byte, cancel func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	replay = append([][]byte(nil), h.history...)
+	ch := make(chan []byte, subscriberBuffer)
+	if h.closed {
+		close(ch)
+		return replay, ch, func() {}
+	}
+	h.subs[ch] = struct{}{}
+	return replay, ch, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if _, ok := h.subs[ch]; ok {
+			delete(h.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// close ends the stream for all subscribers; further publishes are
+// dropped.
+func (h *eventHub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for ch := range h.subs {
+		close(ch)
+		delete(h.subs, ch)
+	}
+}

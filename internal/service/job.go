@@ -1,0 +1,287 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"refsched/internal/harness"
+	"refsched/internal/runner"
+)
+
+// Request is the body of POST /v1/jobs: exactly one of Figure (a CLI
+// target such as "fig10") or Cell (one fully addressed simulation
+// cell), plus an optional priority and parameter overrides applied on
+// top of the daemon's base parameters.
+type Request struct {
+	Figure   string          `json:"figure,omitempty"`
+	Cell     *CellSpec       `json:"cell,omitempty"`
+	Priority int             `json:"priority,omitempty"`
+	Params   *ParamOverrides `json:"params,omitempty"`
+}
+
+// CellSpec addresses one simulation cell the way the figures name
+// them: Table 2 mix, device density, policy bundle, and retention
+// temperature regime.
+type CellSpec struct {
+	Mix     string `json:"mix"`
+	Density string `json:"density"`
+	Bundle  string `json:"bundle"`
+	Hot     bool   `json:"hot,omitempty"`
+}
+
+// ParamOverrides selectively overrides the daemon's base simulation
+// parameters for one request. Every field here changes the simulated
+// result (or which cells a figure sweeps), so all of them feed the
+// cache key.
+type ParamOverrides struct {
+	Scale          *uint64  `json:"scale,omitempty"`
+	FootprintScale *float64 `json:"footprint_scale,omitempty"`
+	WarmupWindows  *int     `json:"warmup_windows,omitempty"`
+	MeasureWindows *int     `json:"measure_windows,omitempty"`
+	Seed           *uint64  `json:"seed,omitempty"`
+	Mixes          []string `json:"mixes,omitempty"`
+	SweepMixes     []string `json:"sweep_mixes,omitempty"`
+}
+
+// apply overlays o on base. The daemon-side knobs (parallelism,
+// journaling, chaos, verbosity) are deliberately not overridable.
+func (o *ParamOverrides) apply(base harness.Params) harness.Params {
+	if o == nil {
+		return base
+	}
+	if o.Scale != nil {
+		base.Scale = *o.Scale
+	}
+	if o.FootprintScale != nil {
+		base.FootprintScale = *o.FootprintScale
+	}
+	if o.WarmupWindows != nil {
+		base.WarmupWindows = *o.WarmupWindows
+	}
+	if o.MeasureWindows != nil {
+		base.MeasureWindows = *o.MeasureWindows
+	}
+	if o.Seed != nil {
+		base.Seed = *o.Seed
+	}
+	if o.Mixes != nil {
+		base.Mixes = o.Mixes
+	}
+	if o.SweepMixes != nil {
+		base.SweepMixes = o.SweepMixes
+	}
+	return base
+}
+
+// requestKey is the cache/dedup fingerprint of a request: the harness
+// parameter fingerprint (every knob that changes a cell's simulated
+// result) extended with what the request addresses — which figure and
+// which mix selection (they change which cells a figure renders), or
+// which single cell.
+func requestKey(figure string, cell *CellSpec, p harness.Params) string {
+	if cell != nil {
+		return fmt.Sprintf("cell|%s|%s|%s|hot=%t|%s",
+			cell.Mix, cell.Density, cell.Bundle, cell.Hot, p.Fingerprint())
+	}
+	return fmt.Sprintf("fig|%s|mixes=%s|sweep=%s|%s",
+		figure, strings.Join(p.Mixes, ","), strings.Join(p.SweepMixes, ","), p.Fingerprint())
+}
+
+// JobState is the lifecycle of a job as GET /v1/jobs/{id} reports it.
+type JobState string
+
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	// JobDone: the result is available (and, for clean runs, cached).
+	JobDone JobState = "done"
+	// JobQuarantined: the sweep completed but some cells failed; the
+	// rendered result includes the failure-summary table and the typed
+	// per-cell detail is in the status payload.
+	JobQuarantined JobState = "quarantined"
+	// JobFailed: the job produced no result (bad request resolved at
+	// run time, cancellation, or a fail-fast/sweep-level error).
+	JobFailed JobState = "failed"
+)
+
+// CellFailure is the wire form of a quarantined cell's typed error
+// detail.
+type CellFailure struct {
+	Cell     string `json:"cell"`
+	Seed     uint64 `json:"seed"`
+	Attempts int    `json:"attempts"`
+	Kind     string `json:"kind"` // "error" or "panic"
+	Detail   string `json:"detail"`
+}
+
+func cellFailure(ce *runner.CellError) CellFailure {
+	f := CellFailure{
+		Cell:     ce.Cell.String(),
+		Seed:     ce.Cell.Seed,
+		Attempts: ce.Attempts,
+		Kind:     "error",
+	}
+	if ce.Panicked() {
+		f.Kind = "panic"
+		f.Detail = fmt.Sprint(ce.PanicValue)
+	} else if ce.Err != nil {
+		f.Detail = ce.Err.Error()
+	}
+	return f
+}
+
+// JobStatus is the GET /v1/jobs/{id} payload.
+type JobStatus struct {
+	ID          string        `json:"id"`
+	State       JobState      `json:"state"`
+	Figure      string        `json:"figure,omitempty"`
+	Cell        *CellSpec     `json:"cell,omitempty"`
+	Priority    int           `json:"priority"`
+	CreatedAt   time.Time     `json:"created_at"`
+	StartedAt   *time.Time    `json:"started_at,omitempty"`
+	FinishedAt  *time.Time    `json:"finished_at,omitempty"`
+	CacheHit    bool          `json:"cache_hit,omitempty"`
+	Deduped     int           `json:"deduped,omitempty"`
+	CellsDone   int           `json:"cells_done"`
+	CellsTotal  int           `json:"cells_total"`
+	ResultBytes int           `json:"result_bytes,omitempty"`
+	Error       string        `json:"error,omitempty"`
+	Quarantined []CellFailure `json:"quarantined,omitempty"`
+}
+
+// job is one unit of work on the daemon's queue. Identical concurrent
+// requests (same requestKey) coalesce onto one job — the single-flight
+// guarantee — so a job may be answering many waiters.
+type job struct {
+	id       string
+	key      string
+	figure   string // canonical figure name, or "cell"
+	req      Request
+	params   harness.Params
+	priority int
+	seq      uint64 // queue tiebreak: FIFO within a priority
+	created  time.Time
+
+	hub  *eventHub
+	done chan struct{} // closed exactly once, when the job finishes
+
+	mu         sync.Mutex
+	state      JobState
+	started    time.Time
+	finished   time.Time
+	err        error
+	failures   []*runner.CellError
+	body       []byte
+	cacheHit   bool
+	deduped    int
+	cellsDone  int
+	cellsTotal int
+}
+
+func (j *job) setRunning() {
+	j.mu.Lock()
+	j.state = JobRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	j.hub.publish(map[string]any{"event": "state", "job": j.id, "state": JobRunning})
+}
+
+// setCells is called by the injected cell runner once the sweep's grid
+// is enumerated.
+func (j *job) setCells(total int) {
+	j.mu.Lock()
+	j.cellsTotal += total
+	j.mu.Unlock()
+}
+
+// cellDone publishes one cell completion (called from the runner's
+// single collector goroutine).
+func (j *job) cellDone(c runner.Cell) {
+	j.mu.Lock()
+	j.cellsDone++
+	done, total := j.cellsDone, j.cellsTotal
+	j.mu.Unlock()
+	j.hub.publish(map[string]any{
+		"event": "cell", "job": j.id, "cell": c.String(), "done": done, "total": total,
+	})
+}
+
+// addDeduped counts one more request coalesced onto this job.
+func (j *job) addDeduped() {
+	j.mu.Lock()
+	j.deduped++
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state, publishes the final event,
+// closes the hub, and wakes all waiters.
+func (j *job) finish(state JobState, body []byte, failures []*runner.CellError, err error, cacheHit bool) {
+	j.mu.Lock()
+	j.state = state
+	j.finished = time.Now()
+	j.body = body
+	j.failures = failures
+	j.err = err
+	j.cacheHit = cacheHit
+	j.mu.Unlock()
+
+	ev := map[string]any{"event": "done", "job": j.id, "state": state}
+	if err != nil {
+		ev["error"] = err.Error()
+	}
+	if len(failures) > 0 {
+		ev["quarantined"] = len(failures)
+	}
+	if cacheHit {
+		ev["cache"] = "hit"
+	}
+	j.hub.publish(ev)
+	j.hub.close()
+	close(j.done)
+}
+
+// snapshot renders the status payload.
+func (j *job) snapshot() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:         j.id,
+		State:      j.state,
+		Priority:   j.priority,
+		CreatedAt:  j.created,
+		CacheHit:   j.cacheHit,
+		Deduped:    j.deduped,
+		CellsDone:  j.cellsDone,
+		CellsTotal: j.cellsTotal,
+	}
+	if j.req.Cell != nil {
+		st.Cell = j.req.Cell
+	} else {
+		st.Figure = j.figure
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	st.ResultBytes = len(j.body)
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	for _, ce := range j.failures {
+		st.Quarantined = append(st.Quarantined, cellFailure(ce))
+	}
+	return st
+}
+
+// result returns the terminal state and body (valid after done closes).
+func (j *job) result() (JobState, []byte, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.body, j.err
+}

@@ -1,0 +1,98 @@
+package service
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// errQueueFull is admission control's signal; the HTTP layer turns it
+// into 429 + Retry-After so callers back off instead of piling work
+// onto a queue that is already beyond its depth limit.
+var errQueueFull = errors.New("service: job queue full")
+
+// errDraining rejects new work once shutdown has begun.
+var errDraining = errors.New("service: draining, not accepting jobs")
+
+// jobQueue is the daemon's bounded priority queue: higher Priority
+// pops first, FIFO within a priority. Push never blocks — beyond depth
+// it fails with errQueueFull. Pop blocks until work or close.
+type jobQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	depth  int
+	seq    uint64
+	items  jobHeap
+	closed bool
+}
+
+func newJobQueue(depth int) *jobQueue {
+	q := &jobQueue{depth: depth}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *jobQueue) push(j *job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errDraining
+	}
+	if q.items.Len() >= q.depth {
+		return fmt.Errorf("%w (depth %d)", errQueueFull, q.depth)
+	}
+	j.seq = q.seq
+	q.seq++
+	heap.Push(&q.items, j)
+	q.cond.Signal()
+	return nil
+}
+
+// pop blocks for the next job; ok is false when the queue is closed
+// and fully drained.
+func (q *jobQueue) pop() (j *job, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.items.Len() == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.items.Len() == 0 {
+		return nil, false
+	}
+	return heap.Pop(&q.items).(*job), true
+}
+
+func (q *jobQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.items.Len()
+}
+
+// close stops admission; queued jobs still drain through pop.
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+type jobHeap []*job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(*job)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}

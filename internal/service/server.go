@@ -1,0 +1,782 @@
+// Package service is the serving layer over the simulation pipeline:
+// a long-running daemon (cmd/refschedd) that answers the same
+// parameterized, cacheable computations the batch CLIs produce — whole
+// figure sweeps and single simulation cells — in milliseconds when the
+// result has been computed before and through a bounded, prioritized
+// job queue when it hasn't.
+//
+// The serving path composes the primitives the pipeline already has:
+// figure drivers run through harness.RunFigure with an injected
+// CellRunner, so every sweep passes the same fault boundary
+// (quarantine, retry, typed *runner.CellError) as the CLI and is
+// additionally subject to the daemon's global cell gate
+// (highest-priority job first) and per-cell progress streaming.
+// Rendered results land in a sharded byte-budget LRU cache keyed by
+// the harness parameter fingerprint; identical in-flight requests
+// coalesce onto one job (single-flight), so N concurrent requests for
+// an uncached figure cost exactly one simulation. Admission control
+// caps queue depth (HTTP 429 + Retry-After), and graceful shutdown
+// drains in-flight jobs under a deadline, then persists the cache
+// through internal/journal so a restarted daemon starts warm.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"refsched/internal/buildinfo"
+	"refsched/internal/core"
+	"refsched/internal/harness"
+	"refsched/internal/journal"
+	"refsched/internal/runner"
+	"refsched/internal/stats"
+	"refsched/internal/workload"
+)
+
+// cacheJournalFingerprint binds the persisted cache snapshot format.
+// Request keys embed their own parameter fingerprints, so this only
+// versions the snapshot encoding itself.
+const cacheJournalFingerprint = "refschedd-cache-v1"
+
+// finishedRetain bounds how many finished jobs stay addressable via
+// GET /v1/jobs/{id}; beyond it the oldest are forgotten (their results
+// live on in the cache).
+const finishedRetain = 4096
+
+// Config sizes the daemon. Zero values select the documented defaults.
+type Config struct {
+	// Params is the base simulation parameter set; requests may
+	// override the result-affecting knobs per call.
+	Params harness.Params
+	// QueueDepth bounds queued (not yet running) jobs; admission
+	// beyond it fails with 429 (default 64).
+	QueueDepth int
+	// Workers is how many jobs execute concurrently (default 2).
+	Workers int
+	// CellSlots is the global budget of concurrently simulating cells
+	// shared by all running jobs, admitted highest-priority-first
+	// (default GOMAXPROCS via runner.Parallelism; <0 disables the
+	// gate).
+	CellSlots int
+	// CacheBytes / CacheShards size the result cache (defaults 64 MiB,
+	// 8 shards).
+	CacheBytes  int64
+	CacheShards int
+	// JournalPath, when non-empty, is where shutdown persists the
+	// result cache and startup warms it from.
+	JournalPath string
+	// DrainTimeout bounds how long Shutdown waits for in-flight jobs
+	// before cancelling them gracefully (default 30s).
+	DrainTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.CellSlots == 0 {
+		c.CellSlots = runner.Parallelism(0)
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 8
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Server is the daemon: an http.Handler plus the queue, workers,
+// cache, and single-flight index behind it.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	queue *jobQueue
+	cache *Cache
+	gate  *priorityGate
+	start time.Time
+
+	// runCtx cancels in-flight sweeps (graceful: in-flight cells
+	// finish) when the drain deadline expires.
+	runCtx    context.Context
+	cancelRun context.CancelFunc
+	wg        sync.WaitGroup
+	draining  atomic.Bool
+
+	jobsMu   sync.Mutex
+	jobs     map[string]*job
+	active   map[string]*job // requestKey -> queued/running job (single-flight)
+	finished []string        // finished job ids, oldest first (retention ring)
+	jobSeq   atomic.Uint64
+
+	// Counters for /statsz.
+	enqueued, dedupHits, cacheHits atomic.Uint64
+	completed, failed, quarantined atomic.Uint64
+	simulations                    atomic.Uint64 // runner.RunBatch executions
+	running                        atomic.Int64
+	latMu                          sync.Mutex
+	figLat                         map[string]*stats.Histogram
+}
+
+// New builds a Server, warms its cache from the journal (if
+// configured), and starts its workers.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		mux:    http.NewServeMux(),
+		queue:  newJobQueue(cfg.QueueDepth),
+		cache:  NewCache(cfg.CacheBytes, cfg.CacheShards),
+		gate:   newPriorityGate(cfg.CellSlots),
+		start:  time.Now(),
+		jobs:   map[string]*job{},
+		active: map[string]*job{},
+		figLat: map[string]*stats.Histogram{},
+	}
+	s.runCtx, s.cancelRun = context.WithCancel(context.Background())
+
+	if cfg.JournalPath != "" {
+		if err := s.warmCache(); err != nil {
+			return nil, err
+		}
+	}
+
+	s.mux.HandleFunc("POST /v1/jobs", s.handleEnqueue)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /v1/figures/{name}", s.handleFigure)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// warmCache loads the previous run's persisted results.
+func (s *Server) warmCache() error {
+	jnl, err := journal.Open(s.cfg.JournalPath, cacheJournalFingerprint)
+	if err != nil {
+		return fmt.Errorf("service: warming cache: %w", err)
+	}
+	jnl.Each(func(key string, raw json.RawMessage) {
+		var body string
+		if json.Unmarshal(raw, &body) == nil && body != "" {
+			s.cache.Put(key, []byte(body))
+		}
+	})
+	return nil
+}
+
+// persistCache rewrites the journal as an exact snapshot of the live
+// cache (stale keys from earlier runs are dropped with the old file).
+func (s *Server) persistCache() error {
+	snap := s.cache.Snapshot()
+	if err := os.Remove(s.cfg.JournalPath); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("service: persisting cache: %w", err)
+	}
+	if len(snap) == 0 {
+		return nil
+	}
+	jnl, err := journal.Open(s.cfg.JournalPath, cacheJournalFingerprint)
+	if err != nil {
+		return fmt.Errorf("service: persisting cache: %w", err)
+	}
+	batch := make(map[string]any, len(snap))
+	for k, body := range snap {
+		batch[k] = string(body)
+	}
+	if err := jnl.RecordBatch(batch); err != nil {
+		return fmt.Errorf("service: persisting cache: %w", err)
+	}
+	return nil
+}
+
+// Shutdown drains the daemon: admission closes immediately, queued and
+// running jobs get until the drain deadline (or ctx) to finish, then
+// in-flight sweeps are cancelled gracefully (in-flight cells complete,
+// the rest are skipped). Finally the result cache is persisted to the
+// journal. It returns nil when everything drained and persisted.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.queue.close()
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	timer := time.NewTimer(s.cfg.DrainTimeout)
+	defer timer.Stop()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.cancelRun()
+		<-done
+	case <-timer.C:
+		s.cancelRun()
+		<-done
+	}
+	s.cancelRun()
+
+	if s.cfg.JournalPath != "" {
+		return s.persistCache()
+	}
+	return nil
+}
+
+// worker executes jobs until the queue closes and drains.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		j, ok := s.queue.pop()
+		if !ok {
+			return
+		}
+		s.execute(j)
+	}
+}
+
+// cellRunner is the harness hook that ties a figure sweep to this
+// daemon: it counts executions, publishes per-cell progress through
+// the job's event hub (reusing the runner's OnDone collector), and
+// routes every cell through the global priority gate.
+func (s *Server) cellRunner(j *job) harness.CellRunner {
+	return func(ctx context.Context, _ string, rjobs []runner.Job[*core.Report], opts runner.Options[*core.Report]) (*runner.Batch[*core.Report], error) {
+		s.simulations.Add(1)
+		j.setCells(len(rjobs))
+		orig := opts.OnDone
+		opts.OnDone = func(i int, c runner.Cell, rep *core.Report) {
+			if orig != nil {
+				orig(i, c, rep)
+			}
+			j.cellDone(c)
+		}
+		if s.gate != nil {
+			priority := j.priority
+			opts.Gate = func(ctx context.Context) (func(), error) {
+				return s.gate.acquire(ctx, priority)
+			}
+		}
+		return runner.RunBatch(ctx, rjobs, opts)
+	}
+}
+
+// execute runs one job to a terminal state.
+func (s *Server) execute(j *job) {
+	s.running.Add(1)
+	defer s.running.Add(-1)
+	j.setRunning()
+	t0 := time.Now()
+
+	// A completed identical job may have filled the cache while this
+	// one sat queued. (Contains first so the common just-enqueued miss
+	// does not double-count in the cache stats.)
+	if s.cache.Contains(j.key) {
+		if body, ok := s.cache.Get(j.key); ok {
+			s.cacheHits.Add(1)
+			s.completed.Add(1)
+			s.finishJob(j, JobDone, body, nil, nil, true)
+			s.observeLatency(j.figure, time.Since(t0))
+			return
+		}
+	}
+
+	p := j.params
+	p.Ctx = s.runCtx
+	p.CellRunner = s.cellRunner(j)
+
+	var body []byte
+	var failures []*runner.CellError
+	var err error
+	if j.req.Cell != nil {
+		c := j.req.Cell
+		var rep *core.Report
+		rep, err = harness.RunCell(p, c.Mix, c.Density, c.Bundle, c.Hot)
+		if err == nil {
+			var raw []byte
+			raw, err = json.MarshalIndent(rep, "", " ")
+			body = append(raw, '\n')
+		}
+		var ce *runner.CellError
+		if errors.As(err, &ce) {
+			failures = append(failures, ce)
+			err = nil
+		}
+	} else {
+		var rs []*harness.Result
+		rs, err = harness.RunFigure(j.figure, p)
+		if err == nil {
+			for _, r := range rs {
+				failures = append(failures, r.Failed...)
+			}
+			body = renderResults(rs)
+		}
+	}
+
+	switch {
+	case err != nil:
+		s.failed.Add(1)
+		s.finishJob(j, JobFailed, nil, nil, err, false)
+	case len(failures) > 0:
+		// Partial results are served but never cached: the failed
+		// cells should be re-attempted by the next request.
+		s.quarantined.Add(1)
+		s.finishJob(j, JobQuarantined, body, failures, nil, false)
+	default:
+		s.cache.Put(j.key, body)
+		s.completed.Add(1)
+		s.finishJob(j, JobDone, body, nil, nil, false)
+	}
+	s.observeLatency(j.figure, time.Since(t0))
+}
+
+// finishJob moves j to a terminal state and clears its single-flight
+// registration, enforcing the finished-job retention bound.
+func (s *Server) finishJob(j *job, state JobState, body []byte, failures []*runner.CellError, err error, cacheHit bool) {
+	s.jobsMu.Lock()
+	if s.active[j.key] == j {
+		delete(s.active, j.key)
+	}
+	s.finished = append(s.finished, j.id)
+	for len(s.finished) > finishedRetain {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+	s.jobsMu.Unlock()
+	j.finish(state, body, failures, err, cacheHit)
+}
+
+// observeLatency records one job execution in the figure's histogram
+// (1 ms buckets up to 8192 ms, overflow beyond).
+func (s *Server) observeLatency(figure string, d time.Duration) {
+	s.latMu.Lock()
+	defer s.latMu.Unlock()
+	h, ok := s.figLat[figure]
+	if !ok {
+		h = stats.NewHistogram(1, 8192)
+		s.figLat[figure] = h
+	}
+	h.Add(uint64(d.Milliseconds()))
+}
+
+// renderResults renders figure results exactly as cmd/experiments
+// prints them (fmt.Println per result), which is what makes a served
+// figure byte-identical to the batch CLI's output.
+func renderResults(rs []*harness.Result) []byte {
+	var b bytes.Buffer
+	for _, r := range rs {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// canonicalFigure normalizes the CLI target aliases so every alias of
+// one computation shares a cache entry.
+func canonicalFigure(name string) string {
+	switch name {
+	case "fig11":
+		return "fig10"
+	case "extensions":
+		return "ext1"
+	}
+	return name
+}
+
+// validFigure reports whether name is a servable target (aliases
+// included).
+func validFigure(name string) bool {
+	name = canonicalFigure(name)
+	if name == "all" {
+		return true
+	}
+	for _, n := range harness.FigureNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// validateCell front-loads the addressing errors RunCell would hit at
+// execution time, so bad requests get a 400 instead of a failed job.
+func validateCell(c *CellSpec) error {
+	if c.Mix == "" || c.Density == "" || c.Bundle == "" {
+		return errors.New("cell needs mix, density, and bundle")
+	}
+	found := false
+	for _, m := range workload.Table2() {
+		if m.Name == c.Mix {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown mix %q (want WL-1..WL-10)", c.Mix)
+	}
+	if _, err := harness.ParseDensity(c.Density); err != nil {
+		return err
+	}
+	for _, b := range harness.BundleNames() {
+		if b == c.Bundle {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown bundle %q (want one of %v)", c.Bundle, harness.BundleNames())
+}
+
+// enqueue resolves a request to a job: a coalesced in-flight job
+// (single-flight), an instantly-done job on cache hit, or a freshly
+// queued one. deduped reports coalescing.
+func (s *Server) enqueue(req Request) (j *job, deduped bool, err error) {
+	if s.draining.Load() {
+		return nil, false, errDraining
+	}
+	if (req.Figure == "") == (req.Cell == nil) {
+		return nil, false, errors.New("request needs exactly one of figure or cell")
+	}
+	figure := "cell"
+	if req.Cell != nil {
+		if err := validateCell(req.Cell); err != nil {
+			return nil, false, err
+		}
+	} else {
+		if !validFigure(req.Figure) {
+			return nil, false, fmt.Errorf("unknown figure %q (want one of %v or all)", req.Figure, harness.FigureNames())
+		}
+		figure = canonicalFigure(req.Figure)
+	}
+	params := req.Params.apply(s.cfg.Params)
+	key := requestKey(figure, req.Cell, params)
+
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	if existing := s.active[key]; existing != nil {
+		existing.addDeduped()
+		s.dedupHits.Add(1)
+		return existing, true, nil
+	}
+
+	j = &job{
+		id:       fmt.Sprintf("job-%06d", s.jobSeq.Add(1)),
+		key:      key,
+		figure:   figure,
+		req:      req,
+		params:   params,
+		priority: req.Priority,
+		created:  time.Now(),
+		hub:      newEventHub(),
+		done:     make(chan struct{}),
+		state:    JobQueued,
+	}
+	s.enqueued.Add(1)
+
+	// Already computed: answer without a queue trip.
+	if body, ok := s.cache.Get(key); ok {
+		s.cacheHits.Add(1)
+		s.jobs[j.id] = j
+		s.finished = append(s.finished, j.id)
+		for len(s.finished) > finishedRetain {
+			delete(s.jobs, s.finished[0])
+			s.finished = s.finished[1:]
+		}
+		j.finish(JobDone, body, nil, nil, true)
+		s.completed.Add(1)
+		return j, false, nil
+	}
+
+	if err := s.queue.push(j); err != nil {
+		return nil, false, err
+	}
+	s.jobs[j.id] = j
+	s.active[key] = j
+	j.hub.publish(map[string]any{"event": "state", "job": j.id, "state": JobQueued})
+	return j, false, nil
+}
+
+func (s *Server) getJob(id string) *job {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	return s.jobs[id]
+}
+
+// retryAfterSeconds estimates when queue space should free up: the
+// queue's current backlog paced by the recent mean job latency across
+// workers, clamped to [1s, 600s].
+func (s *Server) retryAfterSeconds() int {
+	meanMS := 1000.0
+	s.latMu.Lock()
+	var n uint64
+	var sum float64
+	for _, h := range s.figLat {
+		n += h.Count()
+		sum += h.Mean() * float64(h.Count())
+	}
+	s.latMu.Unlock()
+	if n > 0 {
+		meanMS = sum / float64(n)
+	}
+	secs := int(meanMS/1000*float64(s.queue.len())/float64(s.cfg.Workers)) + 1
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 600 {
+		secs = 600
+	}
+	return secs
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
+
+func (s *Server) writeEnqueueError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
+	case errors.Is(err, errDraining):
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+	}
+}
+
+// handleEnqueue is POST /v1/jobs.
+func (s *Server) handleEnqueue(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+		return
+	}
+	j, deduped, err := s.enqueue(req)
+	if err != nil {
+		s.writeEnqueueError(w, err)
+		return
+	}
+	st := j.snapshot()
+	status := http.StatusAccepted
+	if deduped || st.State == JobDone {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, map[string]any{"id": j.id, "state": st.State, "deduped": deduped})
+}
+
+// handleJobStatus is GET /v1/jobs/{id}.
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.getJob(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// handleJobEvents is GET /v1/jobs/{id}/events: NDJSON progress,
+// replaying history then streaming live until the job finishes.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.getJob(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown job"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	replay, events, cancel := j.hub.subscribe()
+	defer cancel()
+	for _, line := range replay {
+		w.Write(line)
+		w.Write([]byte("\n"))
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	for {
+		select {
+		case line, ok := <-events:
+			if !ok {
+				return
+			}
+			w.Write(line)
+			w.Write([]byte("\n"))
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleFigure is GET /v1/figures/{name}: the synchronous
+// cached-or-computed path. The response body is byte-identical to what
+// cmd/experiments prints for the same target and parameters.
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	priority := 10 // interactive requests outrank default batch jobs
+	if pstr := r.URL.Query().Get("priority"); pstr != "" {
+		p, err := strconv.Atoi(pstr)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad priority"})
+			return
+		}
+		priority = p
+	}
+	j, _, err := s.enqueue(Request{Figure: name, Priority: priority})
+	if err != nil {
+		s.writeEnqueueError(w, err)
+		return
+	}
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		// Client gave up; the job still completes and warms the cache.
+		return
+	}
+	state, body, jerr := j.result()
+	st := j.snapshot()
+	switch state {
+	case JobDone:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if st.CacheHit {
+			w.Header().Set("X-Cache", "hit")
+		} else {
+			w.Header().Set("X-Cache", "miss")
+		}
+		w.Write(body)
+	case JobQuarantined:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("X-Refsched-Quarantined", strconv.Itoa(len(st.Quarantined)))
+		w.Write(body)
+	default:
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": jerr.Error()})
+	}
+}
+
+// Health is the /healthz payload.
+type Health struct {
+	Status  string         `json:"status"`
+	Version buildinfo.Info `json:"version"`
+	UptimeS float64        `json:"uptime_s"`
+	Queued  int            `json:"queued"`
+	Running int64          `json:"running"`
+}
+
+func (s *Server) health() Health {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	return Health{
+		Status:  status,
+		Version: buildinfo.Get(),
+		UptimeS: time.Since(s.start).Seconds(),
+		Queued:  s.queue.len(),
+		Running: s.running.Load(),
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.health()
+	code := http.StatusOK
+	if h.Status != "ok" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+// LatencyStats summarizes one figure's job latencies for /statsz.
+type LatencyStats struct {
+	Count  uint64  `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  uint64  `json:"p50_ms"`
+	P90MS  uint64  `json:"p90_ms"`
+	P99MS  uint64  `json:"p99_ms"`
+	MaxMS  uint64  `json:"max_ms"`
+}
+
+// Stats is the /statsz payload.
+type Stats struct {
+	UptimeS float64 `json:"uptime_s"`
+	Queue   struct {
+		Depth     int   `json:"depth"`
+		Capacity  int   `json:"capacity"`
+		Running   int64 `json:"running"`
+		Workers   int   `json:"workers"`
+		CellSlots int   `json:"cell_slots"`
+	} `json:"queue"`
+	Jobs struct {
+		Enqueued    uint64 `json:"enqueued"`
+		Deduped     uint64 `json:"deduped"`
+		CacheHits   uint64 `json:"cache_hits"`
+		Completed   uint64 `json:"completed"`
+		Failed      uint64 `json:"failed"`
+		Quarantined uint64 `json:"quarantined"`
+	} `json:"jobs"`
+	Simulations uint64                  `json:"simulations"`
+	Cache       CacheStats              `json:"cache"`
+	Figures     map[string]LatencyStats `json:"figures"`
+}
+
+// StatsSnapshot collects the live serving metrics (also used directly
+// by tests, bypassing HTTP).
+func (s *Server) StatsSnapshot() Stats {
+	var st Stats
+	st.UptimeS = time.Since(s.start).Seconds()
+	st.Queue.Depth = s.queue.len()
+	st.Queue.Capacity = s.cfg.QueueDepth
+	st.Queue.Running = s.running.Load()
+	st.Queue.Workers = s.cfg.Workers
+	st.Queue.CellSlots = s.cfg.CellSlots
+	st.Jobs.Enqueued = s.enqueued.Load()
+	st.Jobs.Deduped = s.dedupHits.Load()
+	st.Jobs.CacheHits = s.cacheHits.Load()
+	st.Jobs.Completed = s.completed.Load()
+	st.Jobs.Failed = s.failed.Load()
+	st.Jobs.Quarantined = s.quarantined.Load()
+	st.Simulations = s.simulations.Load()
+	st.Cache = s.cache.Stats()
+	st.Figures = map[string]LatencyStats{}
+	s.latMu.Lock()
+	for name, h := range s.figLat {
+		st.Figures[name] = LatencyStats{
+			Count:  h.Count(),
+			MeanMS: h.Mean(),
+			P50MS:  h.Percentile(50),
+			P90MS:  h.Percentile(90),
+			P99MS:  h.Percentile(99),
+			MaxMS:  h.Max(),
+		}
+	}
+	s.latMu.Unlock()
+	return st
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatsSnapshot())
+}
