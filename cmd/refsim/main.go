@@ -12,7 +12,9 @@
 //	refsim -bench mcf,mcf,povray,povray -policy perbank -temp 95
 //
 // A failing run is quarantined (reported, the other mixes still
-// complete, exit 3) unless -failfast is given. -journal FILE persists
+// complete, exit 3) unless -failfast is given. -metrics FILE writes the
+// full cumulative metrics hierarchy (per-bank, per-controller, per-task
+// counters) of every completed run as JSON keyed "slot|mix". -journal FILE persists
 // each completed run atomically; -resume skips runs already on record,
 // so an interrupted multi-mix invocation can be finished later with
 // identical output. SIGINT cancels gracefully: in-flight runs finish
@@ -21,6 +23,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -54,6 +57,7 @@ func main() {
 		retries     = flag.Int("retries", 2, "max identical-seed retries for transient errors (<0 = off)")
 		journalPath = flag.String("journal", "", "journal file for completed runs (empty = no journaling)")
 		resume      = flag.Bool("resume", false, "skip runs already recorded in the journal (requires -journal)")
+		metricsPath = flag.String("metrics", "", "write a JSON metrics snapshot per run to FILE (full per-bank/per-task hierarchy)")
 	)
 	flag.Parse()
 
@@ -86,7 +90,7 @@ func main() {
 	// a stale journal from a different configuration is never resumed.
 	var jnl *journal.Journal
 	if *journalPath != "" {
-		fp := fmt.Sprintf("v1 density=%d policy=%s codesign=%t hot=%t scale=%d warm=%d meas=%d fp=%g seed=%d bench=%q",
+		fp := fmt.Sprintf("v2 density=%d policy=%s codesign=%t hot=%t scale=%d warm=%d meas=%d fp=%g seed=%d bench=%q",
 			*density, *policy, *codesign, *hot, *scale, *warmup, *measure, *fpScale, *seed, *benchCSV)
 		jnl, err = journal.Open(*journalPath, fp)
 		if err != nil {
@@ -101,6 +105,10 @@ func main() {
 	// fan out and print reports in mix order. Runs may repeat a mix, so
 	// journal keys carry the slot index.
 	key := func(i int) string { return fmt.Sprintf("%d|%s", i, mixes[i].Name) }
+	// Per-run cumulative metrics snapshots for -metrics; each slot is
+	// written only by its own run goroutine. Journal-resumed runs have no
+	// live system, so their slot stays nil and is omitted from the dump.
+	snaps := make([]*refsched.MetricsSnapshot, len(mixes))
 	runJobs := make([]runner.Job[*refsched.Report], len(mixes))
 	for i := range mixes {
 		i := i
@@ -117,7 +125,12 @@ func main() {
 				if err != nil {
 					return nil, err
 				}
-				return sys.RunWindows(*warmup, *measure)
+				rep, err := sys.RunWindows(*warmup, *measure)
+				if err == nil && *metricsPath != "" {
+					snap := sys.MetricsSnapshot()
+					snaps[i] = &snap
+				}
+				return rep, err
 			},
 		}
 	}
@@ -146,12 +159,34 @@ func main() {
 			printReport(rep)
 		}
 	}
+	if *metricsPath != "" {
+		if err := writeMetrics(*metricsPath, mixes, snaps); err != nil {
+			fatal(err)
+		}
+	}
 	if len(batch.Failed) > 0 {
 		for _, ce := range batch.Failed {
 			fmt.Fprintf(os.Stderr, "refsim: quarantined: %v\n", ce)
 		}
 		os.Exit(3)
 	}
+}
+
+// writeMetrics dumps each completed run's cumulative snapshot as a JSON
+// object keyed "slot|mix" (matching the journal key scheme, since runs
+// may repeat a mix).
+func writeMetrics(path string, mixes []refsched.Mix, snaps []*refsched.MetricsSnapshot) error {
+	out := make(map[string]*refsched.MetricsSnapshot)
+	for i, s := range snaps {
+		if s != nil {
+			out[fmt.Sprintf("%d|%s", i, mixes[i].Name)] = s
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func printReport(rep *refsched.Report) {

@@ -8,135 +8,154 @@ import (
 	"refsched/internal/dram"
 	"refsched/internal/kernel/buddy"
 	"refsched/internal/kernel/sched"
-	"refsched/internal/mc"
+	"refsched/internal/metrics"
 	"refsched/internal/stats"
 )
 
 // TaskReport summarizes one task over the measurement interval.
 type TaskReport struct {
-	TaskID        int
-	Bench         string
-	IPC           float64
-	MPKI          float64
-	Instructions  uint64
-	CPUCycles     uint64
-	MemStall      uint64
-	LLCMisses     uint64
-	PageFaults    uint64
-	Quanta        uint64
-	FallbackPages uint64
+	TaskID        int     `json:"task_id"`
+	Bench         string  `json:"bench"`
+	IPC           float64 `json:"ipc"`
+	MPKI          float64 `json:"mpki"`
+	Instructions  uint64  `json:"instructions"`
+	CPUCycles     uint64  `json:"cpu_cycles"`
+	MemStall      uint64  `json:"mem_stall"`
+	LLCMisses     uint64  `json:"llc_misses"`
+	PageFaults    uint64  `json:"page_faults"`
+	Quanta        uint64  `json:"quanta"`
+	FallbackPages uint64  `json:"fallback_pages"`
 }
 
-// Report summarizes one measured run.
+// Report summarizes one measured run. It is a pure projection of two
+// metrics-registry snapshots — one at the end of warmup, one at the end
+// of measurement — plus the run's static identity (mix, policy,
+// density, bench names): every numeric field below is computed from
+// snapshot counters, never read from a layer directly. The JSON
+// encoding is stable (snake_case field names) and round-trips exactly,
+// which is what lets journaled and served reports reproduce rendered
+// output byte-identically.
 type Report struct {
-	Mix     string
-	Policy  string
-	Density string
+	Mix     string `json:"mix"`
+	Policy  string `json:"policy"`
+	Density string `json:"density"`
 
 	// HarmonicIPC is the paper's headline metric: the harmonic mean of
 	// per-task IPC over the measurement interval.
-	HarmonicIPC float64
+	HarmonicIPC float64 `json:"harmonic_ipc"`
 	// AvgMemLatency is the mean demand-read latency (queue entry to
 	// data) in CPU cycles.
-	AvgMemLatency float64
+	AvgMemLatency float64 `json:"avg_mem_latency"`
 	// AvgMemLatencyMemCycles converts to DDR3-1600 memory-bus cycles,
 	// the unit Figure 11 uses (4 CPU cycles per memory cycle at
 	// 3.2 GHz / DDR3-1600).
-	AvgMemLatencyMemCycles float64
+	AvgMemLatencyMemCycles float64 `json:"avg_mem_latency_mem_cycles"`
 
-	Tasks []TaskReport
+	Tasks []TaskReport `json:"tasks"`
 
 	// Memory-system aggregates.
-	Reads               uint64
-	Writes              uint64
-	RowHitRate          float64
-	RefreshCommands     uint64
-	RefreshStalledReads uint64
-	RefreshStallCycles  uint64
+	Reads               uint64  `json:"reads"`
+	Writes              uint64  `json:"writes"`
+	RowHitRate          float64 `json:"row_hit_rate"`
+	RefreshCommands     uint64  `json:"refresh_commands"`
+	RefreshStalledReads uint64  `json:"refresh_stalled_reads"`
+	RefreshStallCycles  uint64  `json:"refresh_stall_cycles"`
 	// RefreshStalledFrac is the fraction of demand reads that waited on
 	// a refreshing bank — the mechanism the co-design eliminates.
-	RefreshStalledFrac float64
+	RefreshStalledFrac float64 `json:"refresh_stalled_frac"`
 
 	// Energy is the channel energy breakdown over the measurement
 	// interval (default DDR3-1600 model); RefreshEnergyFrac is
 	// refresh's share of it.
-	Energy            dram.EnergyBreakdown
-	RefreshEnergyFrac float64
+	Energy            dram.EnergyBreakdown `json:"energy"`
+	RefreshEnergyFrac float64              `json:"refresh_energy_frac"`
 
 	// FairnessSpread is max/min CPU time across tasks over the
 	// measurement interval (1.0 = perfectly fair). The refresh-aware
 	// scheduler constrains which tasks may run in each slot, so this
 	// quantifies the Section 5.4 fairness concern η exists to bound.
-	FairnessSpread float64
+	FairnessSpread float64 `json:"fairness_spread"`
 
-	// OS aggregates.
-	SchedStats     sched.Stats
-	AllocStats     buddy.PartitionStats
-	IdleQuanta     uint64
-	TotalQuanta    uint64
-	MeasuredCycles uint64
+	// OS aggregates (cumulative over the whole run, including warmup,
+	// as the paper's OS-side counters are).
+	SchedStats     sched.Stats          `json:"sched_stats"`
+	AllocStats     buddy.PartitionStats `json:"alloc_stats"`
+	IdleQuanta     uint64               `json:"idle_quanta"`
+	TotalQuanta    uint64               `json:"total_quanta"`
+	MeasuredCycles uint64               `json:"measured_cycles"`
 
 	// Events is the number of discrete-event-engine events executed
 	// during the measurement interval. Two runs of the same cell are
 	// bit-identical iff this matches along with the metric fields, so
 	// the parallel-runner determinism tests assert on it.
-	Events uint64
+	Events uint64 `json:"events"`
 }
 
-// snapshot captures counters for later differencing.
-type snapshot struct {
-	tasks  []cpu.TaskStats
-	mcs    []mc.Stats
-	banks  []dram.BankStats
-	events uint64
+// snapshot captures the registry for later differencing; called at the
+// warmup/measurement boundary.
+func (s *System) snapshot() metrics.Snapshot { return s.Reg.Snapshot() }
+
+// taskDelta reconstructs one task's interval stats from the snapshot
+// diff.
+func taskDelta(d metrics.Snapshot, i int) cpu.TaskStats {
+	pfx := fmt.Sprintf("task[%d].", i)
+	return cpu.TaskStats{
+		Instructions: d.Counter(pfx + "instructions"),
+		CPUCycles:    d.Counter(pfx + "cpu_cycles"),
+		MemStall:     d.Counter(pfx + "mem_stall"),
+		LLCMisses:    d.Counter(pfx + "llc_misses"),
+		PageFaults:   d.Counter(pfx + "page_faults"),
+		Quanta:       d.Counter(pfx + "quanta"),
+	}
 }
 
-func (s *System) snapshot() snapshot {
-	snap := snapshot{events: s.Eng.Executed}
-	for _, t := range s.Kernel.Tasks() {
-		snap.tasks = append(snap.tasks, *t.Stats())
+// bankDelta sums a channel's per-bank interval counters (bank-major, so
+// uint64 sums match the pre-registry per-channel aggregation exactly).
+func bankDelta(d metrics.Snapshot, mcIdx, banks int) dram.BankStats {
+	var b dram.BankStats
+	for g := 0; g < banks; g++ {
+		pfx := fmt.Sprintf("mc[%d].bank[%d].", mcIdx, g)
+		b.Reads += d.Counter(pfx + "reads")
+		b.Writes += d.Counter(pfx + "writes")
+		b.RowHits += d.Counter(pfx + "row_hits")
+		b.RowMisses += d.Counter(pfx + "row_misses")
+		b.RowConflicts += d.Counter(pfx + "row_conflicts")
+		b.Refreshes += d.Counter(pfx + "refreshes")
+		b.RowsRefreshed += d.Counter(pfx + "rows_refreshed")
+		b.RefreshBusyCycles += d.Counter(pfx + "refresh_busy_cycles")
 	}
-	for _, c := range s.MCs {
-		snap.mcs = append(snap.mcs, c.Stats)
-	}
-	for _, ch := range s.Chans {
-		snap.banks = append(snap.banks, ch.Stats())
-	}
-	return snap
+	return b
 }
 
-func (s *System) report(snap snapshot, measured uint64) *Report {
+// report projects the measurement interval end.Diff(snap) — plus the
+// cumulative end snapshot for the OS-side totals — into a Report.
+func (s *System) report(snap metrics.Snapshot, measured uint64) *Report {
+	end := s.Reg.Snapshot()
+	d := end.Diff(snap)
+
 	r := &Report{
 		Mix:            s.Mix.Name,
 		Policy:         string(s.Cfg.Refresh.Policy),
 		Density:        s.Cfg.Mem.Density.String(),
 		MeasuredCycles: measured,
-		Events:         s.Eng.Executed - snap.events,
+		Events:         d.Counter("engine.events"),
 	}
 
 	var ipcs []float64
 	for i, t := range s.Kernel.Tasks() {
-		cur := *t.Stats()
-		d := cpu.TaskStats{
-			Instructions: cur.Instructions - snap.tasks[i].Instructions,
-			CPUCycles:    cur.CPUCycles - snap.tasks[i].CPUCycles,
-			MemStall:     cur.MemStall - snap.tasks[i].MemStall,
-			LLCMisses:    cur.LLCMisses - snap.tasks[i].LLCMisses,
-			PageFaults:   cur.PageFaults - snap.tasks[i].PageFaults,
-			Quanta:       cur.Quanta - snap.tasks[i].Quanta,
-		}
+		td := taskDelta(d, i)
 		tr := TaskReport{
 			TaskID:        t.ID(),
 			Bench:         t.Bench.Name,
-			IPC:           d.IPC(),
-			MPKI:          d.MPKI(),
-			Instructions:  d.Instructions,
-			CPUCycles:     d.CPUCycles,
-			MemStall:      d.MemStall,
-			LLCMisses:     d.LLCMisses,
-			PageFaults:    d.PageFaults,
-			Quanta:        d.Quanta,
-			FallbackPages: t.FallbackPages,
+			IPC:           td.IPC(),
+			MPKI:          td.MPKI(),
+			Instructions:  td.Instructions,
+			CPUCycles:     td.CPUCycles,
+			MemStall:      td.MemStall,
+			LLCMisses:     td.LLCMisses,
+			PageFaults:    td.PageFaults,
+			Quanta:        td.Quanta,
+			FallbackPages: end.Counter(fmt.Sprintf("task[%d].fallback_pages", i)),
 		}
 		r.Tasks = append(r.Tasks, tr)
 		if tr.IPC > 0 {
@@ -159,15 +178,14 @@ func (s *System) report(snap snapshot, measured uint64) *Report {
 	}
 
 	var reads, writes, latSum, refCmds, refStalled, refStallCyc uint64
-	for i, c := range s.MCs {
-		d := c.Stats
-		p := snap.mcs[i]
-		reads += d.Reads - p.Reads
-		writes += d.Writes - p.Writes
-		latSum += d.ReadLatencySum - p.ReadLatencySum
-		refCmds += d.RefreshCommands - p.RefreshCommands
-		refStalled += d.RefreshStalledReads - p.RefreshStalledReads
-		refStallCyc += d.RefreshStallCycles - p.RefreshStallCycles
+	for i := range s.MCs {
+		pfx := fmt.Sprintf("mc[%d].", i)
+		reads += d.Counter(pfx + "reads")
+		writes += d.Counter(pfx + "writes")
+		latSum += d.Counter(pfx + "read_latency_sum")
+		refCmds += d.Counter(pfx + "refresh_commands")
+		refStalled += d.Counter(pfx + "refresh_stalled_reads")
+		refStallCyc += d.Counter(pfx + "refresh_stall_cycles")
 	}
 	r.Reads, r.Writes = reads, writes
 	r.RefreshCommands = refCmds
@@ -182,19 +200,10 @@ func (s *System) report(snap snapshot, measured uint64) *Report {
 	var hits, misses, conflicts uint64
 	em := dram.DefaultEnergyModel()
 	for i, ch := range s.Chans {
-		d := ch.Stats()
-		p := snap.banks[i]
-		hits += d.RowHits - p.RowHits
-		misses += d.RowMisses - p.RowMisses
-		conflicts += d.RowConflicts - p.RowConflicts
-		delta := dram.BankStats{
-			Reads:             d.Reads - p.Reads,
-			Writes:            d.Writes - p.Writes,
-			RowMisses:         d.RowMisses - p.RowMisses,
-			RowConflicts:      d.RowConflicts - p.RowConflicts,
-			RowsRefreshed:     d.RowsRefreshed - p.RowsRefreshed,
-			RefreshBusyCycles: d.RefreshBusyCycles - p.RefreshBusyCycles,
-		}
+		delta := bankDelta(d, i, ch.TotalBanks())
+		hits += delta.RowHits
+		misses += delta.RowMisses
+		conflicts += delta.RowConflicts
 		e := em.Energy(delta, measured, s.Cfg.CPUFreqGHz)
 		r.Energy.ActivateMJ += e.ActivateMJ
 		r.Energy.ReadMJ += e.ReadMJ
@@ -207,10 +216,23 @@ func (s *System) report(snap snapshot, measured uint64) *Report {
 		r.RowHitRate = float64(hits) / float64(tot)
 	}
 
-	r.SchedStats = *s.Kernel.Picker().Stats()
-	r.AllocStats = s.Kernel.Allocator().Stats
-	r.IdleQuanta = s.Kernel.Stats.IdleQuanta
-	r.TotalQuanta = s.Kernel.Stats.Quanta
+	r.SchedStats = sched.Stats{
+		Picks:             end.Counter("sched.picks"),
+		EligiblePicks:     end.Counter("sched.eligible_picks"),
+		FallbackPicks:     end.Counter("sched.fallback_picks"),
+		BestEffortPicks:   end.Counter("sched.best_effort_picks"),
+		SkippedCandidates: end.Counter("sched.skipped_candidates"),
+		Migrations:        end.Counter("sched.migrations"),
+	}
+	r.AllocStats = buddy.PartitionStats{
+		CacheHits: end.Counter("alloc.cache_hits"),
+		BuddyHits: end.Counter("alloc.buddy_hits"),
+		Stashed:   end.Counter("alloc.stashed"),
+		Fallbacks: end.Counter("alloc.fallbacks"),
+		Failures:  end.Counter("alloc.failures"),
+	}
+	r.IdleQuanta = end.Counter("kernel.idle_quanta")
+	r.TotalQuanta = end.Counter("kernel.quanta")
 	return r
 }
 

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -63,5 +65,64 @@ func TestReportTaskOrdering(t *testing.T) {
 		if rep.Tasks[i].Bench != "mcf" || rep.Tasks[i+4].Bench != "povray" {
 			t.Fatalf("bench order wrong at %d: %s/%s", i, rep.Tasks[i].Bench, rep.Tasks[i+4].Bench)
 		}
+	}
+}
+
+// TestReportJSONRoundTrip pins the Report wire format: stable
+// snake_case keys, lossless round-trip, and agreement between the
+// report and the registry snapshot it was projected from.
+func TestReportJSONRoundTrip(t *testing.T) {
+	cfg := testConfig(config.Density8Gb, config.RefreshAllBank)
+	sys, err := Build(cfg, testMix(), Options{FootprintScale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.RunWindows(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		`"harmonic_ipc"`, `"avg_mem_latency"`, `"refresh_stalled_frac"`,
+		`"sched_stats"`, `"eligible_picks"`, `"refresh_mj"`, `"cache_hits"`,
+		`"task_id"`, `"llc_misses"`,
+	} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("report JSON missing %s", key)
+		}
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*rep, back) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, *rep)
+	}
+
+	// The cumulative snapshot agrees with the report's cumulative
+	// fields: the report is a projection, not a second bookkeeping
+	// path.
+	snap := sys.MetricsSnapshot()
+	if got := snap.Counter("sched.picks"); got != rep.SchedStats.Picks {
+		t.Errorf("sched.picks snapshot=%d report=%d", got, rep.SchedStats.Picks)
+	}
+	if got := snap.Counter("kernel.quanta"); got != rep.TotalQuanta {
+		t.Errorf("kernel.quanta snapshot=%d report=%d", got, rep.TotalQuanta)
+	}
+	var reads uint64
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "mc[") && strings.HasSuffix(name, "].reads") &&
+			!strings.Contains(name, ".bank[") {
+			reads += v
+		}
+	}
+	// Controller reads are cumulative (warmup + measure) so they bound
+	// the measured-interval count from above.
+	if reads < rep.Reads {
+		t.Errorf("cumulative mc reads %d < measured reads %d", reads, rep.Reads)
 	}
 }

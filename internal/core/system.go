@@ -15,6 +15,7 @@ import (
 	"refsched/internal/kernel"
 	"refsched/internal/kernel/buddy"
 	"refsched/internal/mc"
+	"refsched/internal/metrics"
 	"refsched/internal/refresh"
 	"refsched/internal/sim"
 	"refsched/internal/trace"
@@ -42,6 +43,11 @@ type System struct {
 	Cores  []*cpu.Core
 	Kernel *kernel.Kernel
 	Mix    workload.Mix
+	// Reg is the system's metrics registry: every layer's counters are
+	// registered on it at Build time, and Report is a projection of its
+	// snapshots. The hot path never touches it — layers increment their
+	// own registered uint64 fields.
+	Reg *metrics.Registry
 
 	timing  dram.Timing
 	started bool
@@ -125,8 +131,49 @@ func Build(cfg config.System, mix workload.Mix, opt Options) (*System, error) {
 		s.Kernel.AddTask(b, gen)
 	}
 	s.Kernel.AssignMasks()
+	s.registerMetrics()
 	return s, nil
 }
+
+// registerMetrics binds every layer's counters onto the system's
+// registry under hierarchical scopes. The stat structs stay the
+// hot-path write targets; the registry only reads them at snapshot
+// time. New per-layer measurements are one registration line here (or
+// zero: a new uint64 field on a registered struct is picked up
+// automatically).
+func (s *System) registerMetrics() {
+	s.Reg = metrics.NewRegistry()
+	root := s.Reg.Root()
+
+	root.Sub("engine").CounterPtr("events", &s.Eng.Executed)
+
+	for i, c := range s.MCs {
+		c := c
+		scope := root.Subf("mc[%d]", i)
+		scope.Struct(&c.Stats)
+		scope.Sub("refresh").Struct(&c.PolicyStats)
+		scope.GaugeFunc("read_queue_depth", func() float64 { return float64(c.ReadQueueLen()) })
+		scope.GaugeFunc("write_queue_depth", func() float64 { return float64(c.WriteQueueLen()) })
+		ch := s.Chans[i]
+		for g := 0; g < ch.TotalBanks(); g++ {
+			scope.Subf("bank[%d]", g).Struct(&ch.Bank(g).Stats)
+		}
+	}
+
+	for i, t := range s.Kernel.Tasks() {
+		scope := root.Subf("task[%d]", i)
+		scope.Struct(t.Stats())
+		scope.CounterPtr("fallback_pages", &t.FallbackPages)
+	}
+
+	root.Sub("sched").Struct(s.Kernel.Picker().Stats())
+	root.Sub("alloc").Struct(&s.Kernel.Allocator().Stats)
+	root.Sub("kernel").Struct(&s.Kernel.Stats)
+}
+
+// MetricsSnapshot reads the full registry (cumulative since
+// construction) — the machine-readable counterpart of Report.
+func (s *System) MetricsSnapshot() metrics.Snapshot { return s.Reg.Snapshot() }
 
 // newPolicy builds the per-channel refresh scheduler, threading
 // policy-specific parameters from the config.

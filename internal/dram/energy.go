@@ -31,11 +31,11 @@ func DefaultEnergyModel() EnergyModel {
 
 // EnergyBreakdown is channel energy by component, in millijoules.
 type EnergyBreakdown struct {
-	ActivateMJ   float64
-	ReadMJ       float64
-	WriteMJ      float64
-	RefreshMJ    float64
-	BackgroundMJ float64
+	ActivateMJ   float64 `json:"activate_mj"`
+	ReadMJ       float64 `json:"read_mj"`
+	WriteMJ      float64 `json:"write_mj"`
+	RefreshMJ    float64 `json:"refresh_mj"`
+	BackgroundMJ float64 `json:"background_mj"`
 }
 
 // Total returns the sum of all components.

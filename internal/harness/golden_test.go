@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The golden files lock the rendered output of every figure driver at a
+// fixed fast parameter set. They were captured before the metrics
+// registry migration, so this test is the refactor's equivalence proof:
+// any change to counter plumbing, snapshot/diff arithmetic, or report
+// projection that perturbs a single rendered byte fails here. Regenerate
+// deliberately with:
+//
+//	go test ./internal/harness/ -run TestGoldenFigures -update
+var updateGolden = flag.Bool("update", false, "rewrite the golden figure files")
+
+// goldenParams pins every knob that affects rendered output.
+func goldenParams() Params {
+	return Params{
+		Scale:          4096,
+		FootprintScale: 0.01,
+		WarmupWindows:  1,
+		MeasureWindows: 1,
+		Mixes:          []string{"WL-6"},
+		Seed:           1,
+	}
+}
+
+// goldenFigures are the drivers under equivalence lock; "slow" ones are
+// skipped under -short (mirroring the existing per-figure test gates)
+// but always run in the full tier-1 suite.
+var goldenFigures = []struct {
+	name string
+	slow bool
+}{
+	{"fig3", true},
+	{"fig4", true},
+	{"fig5", true},
+	{"fig10", false},
+	{"fig12", false},
+	{"fig14", true},
+	{"fig15", true},
+	{"ext1", true},
+}
+
+func TestGoldenFigures(t *testing.T) {
+	for _, f := range goldenFigures {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			if f.slow && testing.Short() && !*updateGolden {
+				t.Skip("slow figure sweep")
+			}
+			t.Parallel()
+			rs, err := RunFigure(f.name, goldenParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b strings.Builder
+			for _, r := range rs {
+				b.WriteString(r.String())
+				b.WriteByte('\n')
+			}
+			got := b.String()
+
+			path := filepath.Join("testdata", "golden", f.name+".txt")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to capture): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s rendered output diverged from golden:\n--- got ---\n%s\n--- want ---\n%s",
+					f.name, got, want)
+			}
+		})
+	}
+}

@@ -45,7 +45,9 @@ func (p Params) bundleJob(key string, d config.Density, b bundle, highTemp bool,
 // cache — must additionally key on the mix selection, since it changes
 // which rows a figure renders.)
 func (p Params) Fingerprint() string {
-	return fmt.Sprintf("v1 scale=%d fp=%g warm=%d meas=%d seed=%d",
+	// v2: Report JSON moved to stable snake_case field names, so v1
+	// journals (PascalCase keys) must not be resumed.
+	return fmt.Sprintf("v2 scale=%d fp=%g warm=%d meas=%d seed=%d",
 		p.Scale, p.FootprintScale, p.WarmupWindows, p.MeasureWindows, p.Seed)
 }
 

@@ -28,17 +28,17 @@ func AllBanks(banksPerChannel int) BankMask {
 type PartitionStats struct {
 	// CacheHits served straight from a per-bank free list (line 15 of
 	// Algorithm 2).
-	CacheHits uint64
+	CacheHits uint64 `json:"cache_hits"`
 	// BuddyHits popped from the buddy free list and matching the
 	// round-robin target bank (line 27).
-	BuddyHits uint64
+	BuddyHits uint64 `json:"buddy_hits"`
 	// Stashed pages diverted into per-bank free lists (line 33).
-	Stashed uint64
+	Stashed uint64 `json:"stashed"`
 	// Fallbacks allocated outside the task's possible-banks vector
 	// because its banks were exhausted (Section 5.4.1 fall-back).
-	Fallbacks uint64
+	Fallbacks uint64 `json:"fallbacks"`
 	// Failures with no memory anywhere.
-	Failures uint64
+	Failures uint64 `json:"failures"`
 }
 
 // PartitionAllocator implements the paper's Algorithm 2: a bank-aware

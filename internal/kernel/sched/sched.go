@@ -37,18 +37,18 @@ func (e *Entity) CPU() int { return e.cpu }
 
 // Stats counts scheduling decisions.
 type Stats struct {
-	Picks uint64
+	Picks uint64 `json:"picks"`
 	// EligiblePicks picked a task whose mask excludes every avoided
 	// bank (the refresh-aware success path).
-	EligiblePicks uint64
+	EligiblePicks uint64 `json:"eligible_picks"`
 	// FallbackPicks hit the η threshold and took the leftmost task.
-	FallbackPicks uint64
+	FallbackPicks uint64 `json:"fallback_picks"`
 	// BestEffortPicks chose the minimum-occupancy candidate.
-	BestEffortPicks uint64
+	BestEffortPicks uint64 `json:"best_effort_picks"`
 	// SkippedCandidates counts tasks passed over by Algorithm 3.
-	SkippedCandidates uint64
+	SkippedCandidates uint64 `json:"skipped_candidates"`
 	// Migrations counts load-balancer task moves.
-	Migrations uint64
+	Migrations uint64 `json:"migrations"`
 }
 
 // Picker is the scheduling policy interface the kernel drives.

@@ -63,6 +63,9 @@ type Controller struct {
 	utilLastOcc   int
 
 	Stats Stats
+	// PolicyStats classifies the refresh policy's decisions (observed
+	// centrally in refreshTick so every policy is covered uniformly).
+	PolicyStats refresh.Stats
 }
 
 // New builds a controller for channel ch using the given refresh policy.
@@ -161,6 +164,14 @@ func (c *Controller) QueuedWrites() int { return len(c.writeQ) }
 // OutstandingToBank implements refresh.QueueView.
 func (c *Controller) OutstandingToBank(g int) int { return c.perBankQueued[g] }
 
+// ReadQueueLen returns the current read-queue occupancy (metrics
+// gauge).
+func (c *Controller) ReadQueueLen() int { return len(c.readQ) }
+
+// WriteQueueLen returns the current write-queue occupancy (metrics
+// gauge).
+func (c *Controller) WriteQueueLen() int { return len(c.writeQ) }
+
 // Utilization implements refresh.QueueView: mean read-queue occupancy
 // fraction since the previous call.
 func (c *Controller) Utilization() float64 {
@@ -189,6 +200,7 @@ func (c *Controller) trackOcc() {
 func (c *Controller) refreshTick() {
 	now := c.eng.Now()
 	t := c.policy.Next(now, c)
+	c.PolicyStats.Observe(t)
 	if t.Skip {
 		c.Stats.RefreshSkipped++
 	} else {

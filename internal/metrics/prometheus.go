@@ -1,0 +1,315 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition. A hierarchical registry name maps onto a
+// flat metric name plus labels: every indexed scope segment becomes a
+// label keyed by the segment's base name, and the remaining segments
+// join the metric name with underscores. So with namespace "refsched",
+//
+//	mc[0].bank[3].refresh_busy_cycles
+//
+// renders as
+//
+//	refsched_mc_bank_refresh_busy_cycles{mc="0",bank="3"}
+//
+// which is exactly the shape a Prometheus aggregation wants (sum by
+// (mc) of the per-bank series). Histograms render as the conventional
+// cumulative _bucket/_sum/_count family.
+
+// promName is a parsed hierarchical name: flat family name + labels.
+type promName struct {
+	family string
+	labels []promLabel
+}
+
+type promLabel struct{ key, value string }
+
+// splitName maps a registry name to its Prometheus family and labels.
+func splitName(namespace, name string) promName {
+	var pn promName
+	parts := make([]string, 0, 4)
+	if namespace != "" {
+		parts = append(parts, sanitize(namespace))
+	}
+	for _, seg := range strings.Split(name, ".") {
+		base := seg
+		if i := strings.IndexByte(seg, '['); i >= 0 && strings.HasSuffix(seg, "]") {
+			base = seg[:i]
+			pn.labels = append(pn.labels, promLabel{sanitize(base), seg[i+1 : len(seg)-1]})
+		}
+		parts = append(parts, sanitize(base))
+	}
+	pn.family = strings.Join(parts, "_")
+	return pn
+}
+
+// sanitize maps a name segment onto the Prometheus metric/label-name
+// charset [a-zA-Z0-9_] (invalid runes become '_').
+func sanitize(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			r = '_'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// labelString renders {k="v",...} ("" for no labels), escaping label
+// values per the exposition format.
+func labelString(labels []promLabel, extra ...promLabel) string {
+	all := append(append([]promLabel{}, labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(l.value)
+		fmt.Fprintf(&b, `%s="%s"`, l.key, v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promFamily groups the samples of one metric family for rendering.
+type promFamily struct {
+	name    string
+	kind    Kind
+	samples []string // fully rendered sample lines
+}
+
+// WritePrometheus renders snap in the Prometheus text exposition format
+// (version 0.0.4), families sorted by name and samples sorted within
+// each family, so output is deterministic for a given snapshot.
+func WritePrometheus(w io.Writer, snap Snapshot, namespace string) error {
+	fams := map[string]*promFamily{}
+	family := func(pn promName, kind Kind) *promFamily {
+		f, ok := fams[pn.family]
+		if !ok {
+			f = &promFamily{name: pn.family, kind: kind}
+			fams[pn.family] = f
+		}
+		return f
+	}
+
+	for name, v := range snap.Counters {
+		pn := splitName(namespace, name)
+		f := family(pn, KindCounter)
+		f.samples = append(f.samples, fmt.Sprintf("%s%s %d", pn.family, labelString(pn.labels), v))
+	}
+	for name, v := range snap.Gauges {
+		pn := splitName(namespace, name)
+		f := family(pn, KindGauge)
+		f.samples = append(f.samples,
+			fmt.Sprintf("%s%s %s", pn.family, labelString(pn.labels), strconv.FormatFloat(v, 'g', -1, 64)))
+	}
+	for name, h := range snap.Histograms {
+		pn := splitName(namespace, name)
+		f := family(pn, KindHistogram)
+		var cum uint64
+		for i, c := range h.Counts {
+			cum += c
+			le := strconv.FormatUint(uint64(i+1)*h.Width, 10)
+			f.samples = append(f.samples, fmt.Sprintf("%s_bucket%s %d",
+				pn.family, labelString(pn.labels, promLabel{"le", le}), cum))
+		}
+		f.samples = append(f.samples, fmt.Sprintf("%s_bucket%s %d",
+			pn.family, labelString(pn.labels, promLabel{"le", "+Inf"}), h.Count))
+		f.samples = append(f.samples, fmt.Sprintf("%s_sum%s %d", pn.family, labelString(pn.labels), h.Sum))
+		f.samples = append(f.samples, fmt.Sprintf("%s_count%s %d", pn.family, labelString(pn.labels), h.Count))
+	}
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fams[n]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		// Histogram sample order is structural (cumulative buckets);
+		// only scalar families sort their samples.
+		if f.kind != KindHistogram {
+			sort.Strings(f.samples)
+		}
+		for _, s := range f.samples {
+			if _, err := fmt.Fprintln(w, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PromSample is one parsed exposition sample, for tests and tools that
+// consume /metricsz without a Prometheus client library.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsePrometheusText parses (and thereby validates) text exposition
+// output: every line must be a well-formed comment or sample, metric
+// and label names must match the Prometheus charset, and every sample
+// must belong to a family announced by a preceding # TYPE line.
+func ParsePrometheusText(r io.Reader) ([]PromSample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	types := map[string]string{}
+	var samples []PromSample
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "HELP" {
+				continue
+			}
+			if len(fields) != 4 || fields[1] != "TYPE" {
+				return nil, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			switch fields[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+			}
+			if !validPromName(fields[2]) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q", lineNo, fields[2])
+			}
+			types[fields[2]] = fields[3]
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if familyOf(s.Name, types) == "" {
+			return nil, fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, s.Name)
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+// familyOf resolves a sample name to its announced family, accepting
+// the histogram suffixes.
+func familyOf(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name && types[base] == "histogram" {
+			return base
+		}
+	}
+	return ""
+}
+
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// parseSample parses `name{k="v",...} value`.
+func parseSample(line string) (PromSample, error) {
+	s := PromSample{Labels: map[string]string{}}
+	rest := line
+	end := strings.IndexAny(rest, "{ ")
+	if end < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = rest[:end]
+	if !validPromName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[end:]
+	if rest[0] == '{' {
+		close := strings.IndexByte(rest, '}')
+		if close < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		for _, pair := range splitLabels(rest[1:close]) {
+			eq := strings.IndexByte(pair, '=')
+			if eq < 0 {
+				return s, fmt.Errorf("malformed label %q", pair)
+			}
+			key := pair[:eq]
+			val := pair[eq+1:]
+			if !validPromName(key) {
+				return s, fmt.Errorf("invalid label name %q", key)
+			}
+			if len(val) < 2 || val[0] != '"' || val[len(val)-1] != '"' {
+				return s, fmt.Errorf("unquoted label value in %q", pair)
+			}
+			s.Labels[key] = strings.NewReplacer(`\\`, `\`, `\"`, `"`, `\n`, "\n").Replace(val[1 : len(val)-1])
+		}
+		rest = rest[close+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad sample value %q: %v", rest, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// splitLabels splits a label body on commas outside quotes.
+func splitLabels(body string) []string {
+	if body == "" {
+		return nil
+	}
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, body[start:])
+	return out
+}

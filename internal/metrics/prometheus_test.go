@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"refsched/internal/stats"
+)
+
+func TestSplitName(t *testing.T) {
+	cases := []struct {
+		in     string
+		family string
+		labels map[string]string
+	}{
+		{"mc[0].bank[3].refresh_busy_cycles", "ns_mc_bank_refresh_busy_cycles",
+			map[string]string{"mc": "0", "bank": "3"}},
+		{"simulations", "ns_simulations", nil},
+		{"figure[fig10].sim_events", "ns_figure_sim_events", map[string]string{"figure": "fig10"}},
+		{"queue.depth", "ns_queue_depth", nil},
+	}
+	for _, c := range cases {
+		pn := splitName("ns", c.in)
+		if pn.family != c.family {
+			t.Errorf("splitName(%q).family = %q, want %q", c.in, pn.family, c.family)
+		}
+		got := map[string]string{}
+		for _, l := range pn.labels {
+			got[l.key] = l.value
+		}
+		if len(got) != len(c.labels) {
+			t.Errorf("splitName(%q).labels = %v, want %v", c.in, got, c.labels)
+			continue
+		}
+		for k, v := range c.labels {
+			if got[k] != v {
+				t.Errorf("splitName(%q) label %s = %q, want %q", c.in, k, got[k], v)
+			}
+		}
+	}
+}
+
+// TestWriteParsesBack renders a mixed snapshot and feeds it through the
+// package's own validating parser: every line must be well-formed and
+// every sample typed.
+func TestWriteParsesBack(t *testing.T) {
+	reg := NewRegistry()
+	var reads, writes uint64 = 5, 7
+	h := stats.NewHistogram(10, 3)
+	h.Add(5)
+	h.Add(25)
+	h.Add(999)
+	reg.Root().Sub("mc[0]").CounterPtr("reads", &reads)
+	reg.Root().Sub("mc[1]").CounterPtr("reads", &writes)
+	reg.Root().GaugeFunc("queue_depth", func() float64 { return 2 })
+	reg.Root().Sub("figure[fig10]").Histogram("job_latency_ms", h)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot(), "test"); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParsePrometheusText(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("output failed own parser: %v\n%s", err, buf.String())
+	}
+
+	byName := func(name string, labels map[string]string) (float64, bool) {
+	next:
+		for _, s := range samples {
+			if s.Name != name {
+				continue
+			}
+			for k, v := range labels {
+				if s.Labels[k] != v {
+					continue next
+				}
+			}
+			return s.Value, true
+		}
+		return 0, false
+	}
+
+	if v, ok := byName("test_mc_reads", map[string]string{"mc": "0"}); !ok || v != 5 {
+		t.Errorf("test_mc_reads{mc=0} = %v,%v want 5,true", v, ok)
+	}
+	if v, ok := byName("test_mc_reads", map[string]string{"mc": "1"}); !ok || v != 7 {
+		t.Errorf("test_mc_reads{mc=1} = %v,%v want 7,true", v, ok)
+	}
+	if v, ok := byName("test_queue_depth", nil); !ok || v != 2 {
+		t.Errorf("test_queue_depth = %v,%v want 2,true", v, ok)
+	}
+	// Histogram: cumulative buckets, +Inf equals count, sum/count lines.
+	if v, ok := byName("test_figure_job_latency_ms_bucket",
+		map[string]string{"figure": "fig10", "le": "10"}); !ok || v != 1 {
+		t.Errorf("bucket le=10 = %v,%v want 1,true", v, ok)
+	}
+	if v, ok := byName("test_figure_job_latency_ms_bucket",
+		map[string]string{"figure": "fig10", "le": "30"}); !ok || v != 2 {
+		t.Errorf("bucket le=30 = %v,%v want cumulative 2,true", v, ok)
+	}
+	if v, ok := byName("test_figure_job_latency_ms_bucket",
+		map[string]string{"figure": "fig10", "le": "+Inf"}); !ok || v != 3 {
+		t.Errorf("bucket le=+Inf = %v,%v want 3,true", v, ok)
+	}
+	if v, ok := byName("test_figure_job_latency_ms_count",
+		map[string]string{"figure": "fig10"}); !ok || v != 3 {
+		t.Errorf("count = %v,%v want 3,true", v, ok)
+	}
+	if v, ok := byName("test_figure_job_latency_ms_sum",
+		map[string]string{"figure": "fig10"}); !ok || v != 1029 {
+		t.Errorf("sum = %v,%v want 1029,true", v, ok)
+	}
+}
+
+func TestWriteIsDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	var a, b, c uint64 = 1, 2, 3
+	reg.Root().Sub("z").CounterPtr("late", &a)
+	reg.Root().Sub("a").CounterPtr("early", &b)
+	reg.Root().Sub("m[0]").CounterPtr("mid", &c)
+	snap := reg.Snapshot()
+	var first bytes.Buffer
+	if err := WritePrometheus(&first, snap, "d"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		var again bytes.Buffer
+		if err := WritePrometheus(&again, snap, "d"); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), again.Bytes()) {
+			t.Fatalf("render %d differs:\n%s\nvs\n%s", i, first.String(), again.String())
+		}
+	}
+}
+
+func TestParserRejectsMalformedInput(t *testing.T) {
+	bad := []string{
+		"no_type_line 5\n",
+		"# TYPE x counter\nx{unterminated=\"v 5\n",
+		"# TYPE x counter\nx notanumber\n",
+		"# TYPE 0bad counter\n0bad 5\n",
+	}
+	for _, in := range bad {
+		if _, err := ParsePrometheusText(strings.NewReader(in)); err == nil {
+			t.Errorf("parser accepted malformed input %q", in)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"fmt"
+	"reflect"
+	"unicode"
+)
+
+// Struct registers every exported uint64 field of the struct pointed to
+// by p as a counter named after the field in snake_case (CPUCycles →
+// cpu_cycles). This is the one-line migration path for the per-layer
+// stat structs: the struct stays the hot-path write target, the
+// registry reads the fields at snapshot time, and adding a field to the
+// struct is automatically a new registered counter.
+//
+// Non-uint64 and unexported fields are skipped; a struct contributing
+// no counters panics (it is always a wiring mistake).
+func (s Scope) Struct(p any) {
+	v := reflect.ValueOf(p)
+	if v.Kind() != reflect.Pointer || v.Elem().Kind() != reflect.Struct {
+		panic(fmt.Sprintf("metrics: Struct wants a pointer to struct, got %T", p))
+	}
+	v = v.Elem()
+	t := v.Type()
+	registered := 0
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() || f.Type.Kind() != reflect.Uint64 {
+			continue
+		}
+		s.CounterPtr(snakeCase(f.Name), v.Field(i).Addr().Interface().(*uint64))
+		registered++
+	}
+	if registered == 0 {
+		panic(fmt.Sprintf("metrics: %s has no exported uint64 fields", t))
+	}
+}
+
+// snakeCase converts an exported Go field name to snake_case, keeping
+// acronym runs intact: CPUCycles → cpu_cycles, LLCMisses → llc_misses,
+// RefreshBusyCycles → refresh_busy_cycles.
+func snakeCase(name string) string {
+	rs := []rune(name)
+	out := make([]rune, 0, len(rs)+4)
+	for i, r := range rs {
+		if unicode.IsUpper(r) {
+			prevLower := i > 0 && !unicode.IsUpper(rs[i-1])
+			acronymEnd := i > 0 && i+1 < len(rs) && unicode.IsUpper(rs[i-1]) && unicode.IsLower(rs[i+1])
+			if prevLower || acronymEnd {
+				out = append(out, '_')
+			}
+			r = unicode.ToLower(r)
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}

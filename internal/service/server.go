@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +38,7 @@ import (
 	"refsched/internal/core"
 	"refsched/internal/harness"
 	"refsched/internal/journal"
+	"refsched/internal/metrics"
 	"refsched/internal/runner"
 	"refsched/internal/stats"
 	"refsched/internal/workload"
@@ -124,13 +126,31 @@ type Server struct {
 	finished []string        // finished job ids, oldest first (retention ring)
 	jobSeq   atomic.Uint64
 
-	// Counters for /statsz.
+	// Counters behind /statsz and /metricsz. The atomics are the write
+	// targets; reg reads them (plus the queue, cache, and per-figure
+	// state) at snapshot time, so both endpoints are projections of one
+	// registry snapshot.
 	enqueued, dedupHits, cacheHits atomic.Uint64
 	completed, failed, quarantined atomic.Uint64
 	simulations                    atomic.Uint64 // runner.RunBatch executions
 	running                        atomic.Int64
-	latMu                          sync.Mutex
-	figLat                         map[string]*stats.Histogram
+	reg                            *metrics.Registry
+	figMu                          sync.Mutex
+	figs                           map[string]*figureMetrics
+}
+
+// figureMetrics is one served figure's accumulated observability state:
+// job latency plus the simulator-side counters of every cell computed
+// for it (cache hits add nothing — they run no simulation). lat is
+// guarded by Server.figMu; the counters are atomics because cells
+// complete concurrently across workers.
+type figureMetrics struct {
+	lat                 *stats.Histogram
+	cells               atomic.Uint64
+	simEvents           atomic.Uint64
+	reads, writes       atomic.Uint64
+	refreshCommands     atomic.Uint64
+	refreshStalledReads atomic.Uint64
 }
 
 // New builds a Server, warms its cache from the journal (if
@@ -146,9 +166,11 @@ func New(cfg Config) (*Server, error) {
 		start:  time.Now(),
 		jobs:   map[string]*job{},
 		active: map[string]*job{},
-		figLat: map[string]*stats.Histogram{},
+		reg:    metrics.NewRegistry(),
+		figs:   map[string]*figureMetrics{},
 	}
 	s.runCtx, s.cancelRun = context.WithCancel(context.Background())
+	s.registerMetrics()
 
 	if cfg.JournalPath != "" {
 		if err := s.warmCache(); err != nil {
@@ -162,6 +184,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/figures/{name}", s.handleFigure)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -171,6 +194,74 @@ func New(cfg Config) (*Server, error) {
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// registerMetrics binds the daemon's observability state onto its
+// registry: queue shape, job outcome counters, cache behaviour, and
+// uptime. Per-figure metrics register lazily in figMetrics the first
+// time a figure executes.
+func (s *Server) registerMetrics() {
+	root := s.reg.Root()
+
+	q := root.Sub("queue")
+	q.GaugeFunc("depth", func() float64 { return float64(s.queue.len()) })
+	q.GaugeFunc("capacity", func() float64 { return float64(s.cfg.QueueDepth) })
+	q.GaugeFunc("running", func() float64 { return float64(s.running.Load()) })
+	q.GaugeFunc("workers", func() float64 { return float64(s.cfg.Workers) })
+	q.GaugeFunc("cell_slots", func() float64 { return float64(s.cfg.CellSlots) })
+
+	j := root.Sub("jobs")
+	j.CounterFunc("enqueued", s.enqueued.Load)
+	j.CounterFunc("deduped", s.dedupHits.Load)
+	j.CounterFunc("cache_hits", s.cacheHits.Load)
+	j.CounterFunc("completed", s.completed.Load)
+	j.CounterFunc("failed", s.failed.Load)
+	j.CounterFunc("quarantined", s.quarantined.Load)
+
+	root.CounterFunc("simulations", s.simulations.Load)
+
+	c := root.Sub("cache")
+	c.CounterFunc("hits", func() uint64 { return s.cache.Stats().Hits })
+	c.CounterFunc("misses", func() uint64 { return s.cache.Stats().Misses })
+	c.CounterFunc("evictions", func() uint64 { return s.cache.Stats().Evictions })
+	c.GaugeFunc("entries", func() float64 { return float64(s.cache.Stats().Entries) })
+	c.GaugeFunc("bytes", func() float64 { return float64(s.cache.Stats().Bytes) })
+	c.GaugeFunc("budget_bytes", func() float64 { return float64(s.cache.Stats().Budget) })
+	c.GaugeFunc("hit_ratio", func() float64 { return s.cache.Stats().HitRatio })
+
+	root.GaugeFunc("uptime_seconds", func() float64 { return time.Since(s.start).Seconds() })
+}
+
+// figMetrics returns figure's metrics bundle, creating and registering
+// it on first use. Creation happens under figMu; registration happens
+// after releasing it, because Snapshot reads the latency histogram
+// under registry.mu then figMu, and registering under figMu would take
+// those locks in the opposite order. Only the inserting goroutine
+// registers, so the duplicate-name panic cannot fire.
+func (s *Server) figMetrics(figure string) *figureMetrics {
+	s.figMu.Lock()
+	fm, ok := s.figs[figure]
+	if ok {
+		s.figMu.Unlock()
+		return fm
+	}
+	fm = &figureMetrics{lat: stats.NewHistogram(1, 8192)}
+	s.figs[figure] = fm
+	s.figMu.Unlock()
+
+	scope := s.reg.Root().Subf("figure[%s]", figure)
+	scope.HistogramFunc("job_latency_ms", func() stats.HistogramView {
+		s.figMu.Lock()
+		defer s.figMu.Unlock()
+		return fm.lat.View()
+	})
+	scope.CounterFunc("cells", fm.cells.Load)
+	scope.CounterFunc("sim_events", fm.simEvents.Load)
+	scope.CounterFunc("reads", fm.reads.Load)
+	scope.CounterFunc("writes", fm.writes.Load)
+	scope.CounterFunc("refresh_commands", fm.refreshCommands.Load)
+	scope.CounterFunc("refresh_stalled_reads", fm.refreshStalledReads.Load)
+	return fm
+}
 
 // warmCache loads the previous run's persisted results.
 func (s *Server) warmCache() error {
@@ -261,10 +352,19 @@ func (s *Server) cellRunner(j *job) harness.CellRunner {
 	return func(ctx context.Context, _ string, rjobs []runner.Job[*core.Report], opts runner.Options[*core.Report]) (*runner.Batch[*core.Report], error) {
 		s.simulations.Add(1)
 		j.setCells(len(rjobs))
+		fm := s.figMetrics(j.figure)
 		orig := opts.OnDone
 		opts.OnDone = func(i int, c runner.Cell, rep *core.Report) {
 			if orig != nil {
 				orig(i, c, rep)
+			}
+			if rep != nil {
+				fm.cells.Add(1)
+				fm.simEvents.Add(rep.Events)
+				fm.reads.Add(rep.Reads)
+				fm.writes.Add(rep.Writes)
+				fm.refreshCommands.Add(rep.RefreshCommands)
+				fm.refreshStalledReads.Add(rep.RefreshStalledReads)
 			}
 			j.cellDone(c)
 		}
@@ -366,14 +466,10 @@ func (s *Server) finishJob(j *job, state JobState, body []byte, failures []*runn
 // observeLatency records one job execution in the figure's histogram
 // (1 ms buckets up to 8192 ms, overflow beyond).
 func (s *Server) observeLatency(figure string, d time.Duration) {
-	s.latMu.Lock()
-	defer s.latMu.Unlock()
-	h, ok := s.figLat[figure]
-	if !ok {
-		h = stats.NewHistogram(1, 8192)
-		s.figLat[figure] = h
-	}
-	h.Add(uint64(d.Milliseconds()))
+	fm := s.figMetrics(figure)
+	s.figMu.Lock()
+	defer s.figMu.Unlock()
+	fm.lat.Add(uint64(d.Milliseconds()))
 }
 
 // renderResults renders figure results exactly as cmd/experiments
@@ -522,14 +618,14 @@ func (s *Server) getJob(id string) *job {
 // workers, clamped to [1s, 600s].
 func (s *Server) retryAfterSeconds() int {
 	meanMS := 1000.0
-	s.latMu.Lock()
+	s.figMu.Lock()
 	var n uint64
 	var sum float64
-	for _, h := range s.figLat {
-		n += h.Count()
-		sum += h.Mean() * float64(h.Count())
+	for _, fm := range s.figs {
+		n += fm.lat.Count()
+		sum += fm.lat.Mean() * float64(fm.lat.Count())
 	}
-	s.latMu.Unlock()
+	s.figMu.Unlock()
 	if n > 0 {
 		meanMS = sum / float64(n)
 	}
@@ -743,40 +839,80 @@ type Stats struct {
 	Figures     map[string]LatencyStats `json:"figures"`
 }
 
+// MetricsSnapshot reads the daemon's full registry — the same data
+// /metricsz exposes, in structured form.
+func (s *Server) MetricsSnapshot() metrics.Snapshot { return s.reg.Snapshot() }
+
 // StatsSnapshot collects the live serving metrics (also used directly
-// by tests, bypassing HTTP).
+// by tests, bypassing HTTP). It is a projection of one registry
+// snapshot — the /statsz and /metricsz payloads are two renderings of
+// the same read.
 func (s *Server) StatsSnapshot() Stats {
+	return projectStats(s.reg.Snapshot())
+}
+
+// projectStats shapes a registry snapshot into the /statsz payload.
+func projectStats(snap metrics.Snapshot) Stats {
 	var st Stats
-	st.UptimeS = time.Since(s.start).Seconds()
-	st.Queue.Depth = s.queue.len()
-	st.Queue.Capacity = s.cfg.QueueDepth
-	st.Queue.Running = s.running.Load()
-	st.Queue.Workers = s.cfg.Workers
-	st.Queue.CellSlots = s.cfg.CellSlots
-	st.Jobs.Enqueued = s.enqueued.Load()
-	st.Jobs.Deduped = s.dedupHits.Load()
-	st.Jobs.CacheHits = s.cacheHits.Load()
-	st.Jobs.Completed = s.completed.Load()
-	st.Jobs.Failed = s.failed.Load()
-	st.Jobs.Quarantined = s.quarantined.Load()
-	st.Simulations = s.simulations.Load()
-	st.Cache = s.cache.Stats()
+	st.UptimeS = snap.Gauge("uptime_seconds")
+	st.Queue.Depth = int(snap.Gauge("queue.depth"))
+	st.Queue.Capacity = int(snap.Gauge("queue.capacity"))
+	st.Queue.Running = int64(snap.Gauge("queue.running"))
+	st.Queue.Workers = int(snap.Gauge("queue.workers"))
+	st.Queue.CellSlots = int(snap.Gauge("queue.cell_slots"))
+	st.Jobs.Enqueued = snap.Counter("jobs.enqueued")
+	st.Jobs.Deduped = snap.Counter("jobs.deduped")
+	st.Jobs.CacheHits = snap.Counter("jobs.cache_hits")
+	st.Jobs.Completed = snap.Counter("jobs.completed")
+	st.Jobs.Failed = snap.Counter("jobs.failed")
+	st.Jobs.Quarantined = snap.Counter("jobs.quarantined")
+	st.Simulations = snap.Counter("simulations")
+	st.Cache = CacheStats{
+		Hits:      snap.Counter("cache.hits"),
+		Misses:    snap.Counter("cache.misses"),
+		Evictions: snap.Counter("cache.evictions"),
+		Entries:   int(snap.Gauge("cache.entries")),
+		Bytes:     int64(snap.Gauge("cache.bytes")),
+		Budget:    int64(snap.Gauge("cache.budget_bytes")),
+		HitRatio:  snap.Gauge("cache.hit_ratio"),
+	}
 	st.Figures = map[string]LatencyStats{}
-	s.latMu.Lock()
-	for name, h := range s.figLat {
-		st.Figures[name] = LatencyStats{
-			Count:  h.Count(),
+	for name, h := range snap.Histograms {
+		fig, ok := figureOfLatency(name)
+		if !ok {
+			continue
+		}
+		st.Figures[fig] = LatencyStats{
+			Count:  h.Count,
 			MeanMS: h.Mean(),
 			P50MS:  h.Percentile(50),
 			P90MS:  h.Percentile(90),
 			P99MS:  h.Percentile(99),
-			MaxMS:  h.Max(),
+			MaxMS:  h.Max,
 		}
 	}
-	s.latMu.Unlock()
 	return st
+}
+
+// figureOfLatency extracts the figure name from a
+// "figure[<name>].job_latency_ms" metric name.
+func figureOfLatency(name string) (string, bool) {
+	const pre, suf = "figure[", "].job_latency_ms"
+	if strings.HasPrefix(name, pre) && strings.HasSuffix(name, suf) && len(name) > len(pre)+len(suf) {
+		return name[len(pre) : len(name)-len(suf)], true
+	}
+	return "", false
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.StatsSnapshot())
+}
+
+// handleMetricsz is GET /metricsz: the registry in Prometheus text
+// exposition format, for scraping. Counter families carry a refschedd_
+// namespace; indexed scopes (per-figure state) become labels, e.g.
+// refschedd_figure_sim_events{figure="fig10"}.
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	metrics.WritePrometheus(w, s.reg.Snapshot(), "refschedd")
 }

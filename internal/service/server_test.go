@@ -18,6 +18,7 @@ import (
 	"refsched/internal/chaos"
 	"refsched/internal/core"
 	"refsched/internal/harness"
+	"refsched/internal/metrics"
 )
 
 // tinyParams mirrors the harness tests' fast preset: one small mix at
@@ -605,5 +606,118 @@ func TestRenderMatchesCLIFormat(t *testing.T) {
 	want := fmt.Sprintf("%v\n%v\n", r, r)
 	if string(got) != want {
 		t.Fatalf("renderResults framing drifted:\n%q\nvs\n%q", got, want)
+	}
+}
+
+// TestMetricszEndpoint drives a figure through the daemon twice (one
+// computed, one cache hit) and validates /metricsz end to end: the body
+// must be well-formed Prometheus text exposition, and it must carry the
+// daemon's queue/job/cache state plus the per-figure simulator counters
+// accumulated from the cells the sweep ran.
+func TestMetricszEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+
+	resp, _ := get(t, ts, "/v1/figures/fig10")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("figure status %d", resp.StatusCode)
+	}
+	resp, _ = get(t, ts, "/v1/figures/fig10")
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("second fetch: status %d cache %q", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+
+	resp, body := get(t, ts, "/metricsz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metricsz status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	samples, err := metrics.ParsePrometheusText(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metricsz is not valid exposition text: %v\n%s", err, body)
+	}
+
+	sample := func(name string, labels map[string]string) (float64, bool) {
+	next:
+		for _, sm := range samples {
+			if sm.Name != name {
+				continue
+			}
+			for k, v := range labels {
+				if sm.Labels[k] != v {
+					continue next
+				}
+			}
+			return sm.Value, true
+		}
+		return 0, false
+	}
+	mustSample := func(name string, labels map[string]string) float64 {
+		v, ok := sample(name, labels)
+		if !ok {
+			t.Fatalf("missing sample %s%v", name, labels)
+		}
+		return v
+	}
+
+	// Daemon queue and job state.
+	if v := mustSample("refschedd_jobs_enqueued", nil); v != 2 {
+		t.Errorf("jobs_enqueued = %v, want 2", v)
+	}
+	if v := mustSample("refschedd_jobs_completed", nil); v != 2 {
+		t.Errorf("jobs_completed = %v, want 2", v)
+	}
+	if v := mustSample("refschedd_jobs_cache_hits", nil); v != 1 {
+		t.Errorf("jobs_cache_hits = %v, want 1", v)
+	}
+	if v := mustSample("refschedd_simulations", nil); v != 1 {
+		t.Errorf("simulations = %v, want 1", v)
+	}
+	if v := mustSample("refschedd_queue_capacity", nil); v != float64(s.cfg.QueueDepth) {
+		t.Errorf("queue_capacity = %v, want %d", v, s.cfg.QueueDepth)
+	}
+	if _, ok := sample("refschedd_queue_depth", nil); !ok {
+		t.Error("missing queue_depth gauge")
+	}
+
+	// Cache state: one stored entry, one hit, one miss.
+	if v := mustSample("refschedd_cache_entries", nil); v != 1 {
+		t.Errorf("cache_entries = %v, want 1", v)
+	}
+	if v := mustSample("refschedd_cache_hits", nil); v < 1 {
+		t.Errorf("cache_hits = %v, want >= 1", v)
+	}
+
+	// Per-figure simulator counters: the fig10 grid is 3 densities x 3
+	// bundles = 9 cells, and a simulated interval always executes events
+	// and reads.
+	figLabel := map[string]string{"figure": "fig10"}
+	if v := mustSample("refschedd_figure_cells", figLabel); v != 9 {
+		t.Errorf("figure_cells = %v, want 9", v)
+	}
+	for _, name := range []string{
+		"refschedd_figure_sim_events",
+		"refschedd_figure_reads",
+		"refschedd_figure_refresh_commands",
+	} {
+		if v := mustSample(name, figLabel); v <= 0 {
+			t.Errorf("%s = %v, want > 0", name, v)
+		}
+	}
+
+	// Latency histogram: only the computed job observes latency (the
+	// second request is answered at enqueue time and never executes).
+	if v := mustSample("refschedd_figure_job_latency_ms_count", figLabel); v != 1 {
+		t.Errorf("job_latency count = %v, want 1", v)
+	}
+
+	// /statsz is a projection of the same registry: spot-check agreement.
+	st := s.StatsSnapshot()
+	if float64(st.Jobs.Enqueued) != mustSample("refschedd_jobs_enqueued", nil) {
+		t.Errorf("statsz enqueued %d disagrees with /metricsz", st.Jobs.Enqueued)
+	}
+	if st.Figures["fig10"].Count != 1 {
+		t.Errorf("statsz figure count = %d, want 1", st.Figures["fig10"].Count)
 	}
 }

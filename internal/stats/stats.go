@@ -11,17 +11,39 @@ import (
 	"strings"
 )
 
-// Mean accumulates a running mean without storing samples.
+// Mean accumulates a running mean without storing samples. Non-finite
+// samples (NaN, ±Inf) are dropped rather than recorded — one poisoned
+// sample would otherwise turn every later Value into NaN — and counted
+// in Dropped.
 type Mean struct {
-	n   uint64
-	sum float64
+	n       uint64
+	sum     float64
+	dropped uint64
 }
 
-// Add records one sample.
-func (m *Mean) Add(v float64) { m.n++; m.sum += v }
+// Add records one sample; NaN/Inf samples are dropped and counted.
+func (m *Mean) Add(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		m.dropped++
+		return
+	}
+	m.n++
+	m.sum += v
+}
 
-// AddN records a pre-aggregated batch of n samples summing to sum.
-func (m *Mean) AddN(n uint64, sum float64) { m.n += n; m.sum += sum }
+// AddN records a pre-aggregated batch of n samples summing to sum; a
+// non-finite sum drops the whole batch (counted as n drops).
+func (m *Mean) AddN(n uint64, sum float64) {
+	if math.IsNaN(sum) || math.IsInf(sum, 0) {
+		m.dropped += n
+		return
+	}
+	m.n += n
+	m.sum += sum
+}
+
+// Dropped returns how many samples were rejected as non-finite.
+func (m *Mean) Dropped() uint64 { return m.dropped }
 
 // Count returns the number of samples recorded.
 func (m *Mean) Count() uint64 { return m.n }
@@ -46,6 +68,7 @@ type Histogram struct {
 	n       uint64
 	sum     uint64
 	max     uint64
+	dropped uint64
 }
 
 // NewHistogram returns a histogram with nbuckets buckets of the given width.
@@ -71,8 +94,42 @@ func (h *Histogram) Add(v uint64) {
 	h.buckets[i]++
 }
 
+// AddFloat records a float observation, dropping NaN, ±Inf, and
+// negative values (counted in Dropped) so a poisoned sample cannot
+// corrupt the aggregate.
+func (h *Histogram) AddFloat(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		h.dropped++
+		return
+	}
+	h.Add(uint64(v))
+}
+
+// Dropped returns how many observations were rejected as non-finite or
+// negative.
+func (h *Histogram) Dropped() uint64 { return h.dropped }
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.n }
+
+// HistogramView is a copied, export-friendly snapshot of a histogram's
+// state (the registry reads histograms through it).
+type HistogramView struct {
+	Width  uint64
+	Counts []uint64
+	Over   uint64
+	Count  uint64
+	Sum    uint64
+	Max    uint64
+}
+
+// View copies the histogram's current state.
+func (h *Histogram) View() HistogramView {
+	counts := make([]uint64, len(h.buckets))
+	copy(counts, h.buckets)
+	return HistogramView{Width: h.Width, Counts: counts, Over: h.over,
+		Count: h.n, Sum: h.sum, Max: h.max}
+}
 
 // Mean returns the mean observation, or 0 when empty.
 func (h *Histogram) Mean() float64 {
@@ -114,7 +171,7 @@ func HarmonicMean(vs []float64) float64 {
 	}
 	var inv float64
 	for _, v := range vs {
-		if v <= 0 {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
 			return 0
 		}
 		inv += 1 / v
@@ -129,7 +186,7 @@ func GeoMean(vs []float64) float64 {
 	}
 	var lg float64
 	for _, v := range vs {
-		if v <= 0 {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
 			return 0
 		}
 		lg += math.Log(v)

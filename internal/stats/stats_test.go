@@ -150,3 +150,79 @@ func TestSortedKeys(t *testing.T) {
 		t.Fatalf("SortedKeys = %v", got)
 	}
 }
+
+func TestMeanDropsNonFinite(t *testing.T) {
+	var m Mean
+	m.Add(2)
+	m.Add(math.NaN())
+	m.Add(math.Inf(1))
+	m.Add(math.Inf(-1))
+	m.Add(4)
+	if m.Count() != 2 || m.Value() != 3 {
+		t.Fatalf("count=%d value=%v, want 2 and 3", m.Count(), m.Value())
+	}
+	if m.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", m.Dropped())
+	}
+}
+
+func TestMeanAddNDropsNonFiniteBatch(t *testing.T) {
+	var m Mean
+	m.AddN(5, 50)
+	m.AddN(7, math.NaN())
+	m.AddN(2, math.Inf(1))
+	if m.Count() != 5 || m.Sum() != 50 {
+		t.Fatalf("count=%d sum=%v, want 5 and 50", m.Count(), m.Sum())
+	}
+	if m.Dropped() != 9 {
+		t.Fatalf("dropped = %d, want all 9 batch samples", m.Dropped())
+	}
+}
+
+func TestHistogramAddFloatDropsBadSamples(t *testing.T) {
+	h := NewHistogram(10, 4)
+	h.AddFloat(15)
+	h.AddFloat(math.NaN())
+	h.AddFloat(math.Inf(1))
+	h.AddFloat(-1)
+	if h.Count() != 1 || h.Dropped() != 3 {
+		t.Fatalf("count=%d dropped=%d, want 1 and 3", h.Count(), h.Dropped())
+	}
+	if h.Mean() != 15 {
+		t.Fatalf("mean = %v, want 15 (uncorrupted)", h.Mean())
+	}
+}
+
+func TestHistogramView(t *testing.T) {
+	h := NewHistogram(10, 3)
+	h.Add(5)
+	h.Add(25)
+	h.Add(500)
+	v := h.View()
+	if v.Width != 10 || v.Count != 3 || v.Sum != 530 || v.Max != 500 || v.Over != 1 {
+		t.Fatalf("view = %+v", v)
+	}
+	if len(v.Counts) != 3 || v.Counts[0] != 1 || v.Counts[2] != 1 {
+		t.Fatalf("view buckets = %v", v.Counts)
+	}
+	// The view is a copy: mutating the histogram must not change it.
+	h.Add(5)
+	if v.Counts[0] != 1 {
+		t.Fatal("view aliases live histogram buckets")
+	}
+}
+
+func TestAggregatesRejectNonFinite(t *testing.T) {
+	if v := HarmonicMean([]float64{1, math.NaN()}); v != 0 {
+		t.Fatalf("HarmonicMean with NaN = %v, want 0", v)
+	}
+	if v := HarmonicMean([]float64{1, math.Inf(1)}); v != 0 {
+		t.Fatalf("HarmonicMean with +Inf = %v, want 0", v)
+	}
+	if v := GeoMean([]float64{2, math.NaN()}); v != 0 {
+		t.Fatalf("GeoMean with NaN = %v, want 0", v)
+	}
+	if v := GeoMean([]float64{2, math.Inf(1)}); v != 0 {
+		t.Fatalf("GeoMean with +Inf = %v, want 0", v)
+	}
+}

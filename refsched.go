@@ -29,6 +29,7 @@ import (
 
 	"refsched/internal/config"
 	"refsched/internal/core"
+	"refsched/internal/metrics"
 	"refsched/internal/sim"
 	"refsched/internal/trace"
 	"refsched/internal/workload"
@@ -101,6 +102,12 @@ type Report = core.Report
 
 // TaskReport summarizes one task within a run.
 type TaskReport = core.TaskReport
+
+// MetricsSnapshot is a point-in-time reading of every registered
+// counter, gauge, and histogram in a system, keyed by hierarchical name
+// (e.g. "mc[0].bank[3].refresh_busy_cycles"). It JSON-round-trips and
+// supports Diff for interval measurement.
+type MetricsSnapshot = metrics.Snapshot
 
 // Options tunes system construction.
 type Options = core.Options
@@ -211,3 +218,9 @@ func (s *System) Run(warmup, measure uint64) (*Report, error) {
 func (s *System) RunWindows(warmupWindows, measureWindows int) (*Report, error) {
 	return s.inner.RunWindows(warmupWindows, measureWindows)
 }
+
+// MetricsSnapshot reads every registered metric in the system,
+// cumulative since construction. Report is a projection of the diff of
+// two such snapshots; this exposes the full underlying hierarchy
+// (per-bank, per-controller, per-task) for custom analysis.
+func (s *System) MetricsSnapshot() MetricsSnapshot { return s.inner.MetricsSnapshot() }
