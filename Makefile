@@ -6,7 +6,7 @@ GO ?= go
 # out of go.mod so the simulator itself stays dependency-free.
 STATICCHECK = $(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1.1
 
-.PHONY: build test short race bench bench-baseline serve ci staticcheck regen-output
+.PHONY: build test short race bench bench-baseline serve ci staticcheck regen-output timeline-demo
 
 build:
 	$(GO) build ./...
@@ -51,8 +51,22 @@ ci:
 	$(GO) vet ./...
 	$(MAKE) staticcheck
 	$(GO) test -short ./...
-	$(GO) test -race -timeout 10m ./internal/runner/ ./internal/chaos/ ./internal/journal/ ./internal/sim/ ./internal/service/
+	$(GO) test -race -timeout 10m ./internal/runner/ ./internal/chaos/ ./internal/journal/ ./internal/sim/ ./internal/service/ ./internal/timeline/
 	$(GO) test -count=1 -run 'TestDaemonSmoke' ./cmd/refschedd/
+
+# Write the pair of Perfetto timelines EXPERIMENTS.md walks through:
+# the same mix under rotating per-bank refresh (baseline) and under the
+# full co-design's sequential schedule. Load either file at
+# https://ui.perfetto.dev to compare the DRAM refresh tracks against
+# the per-core quantum tracks.
+timeline-demo:
+	$(GO) run ./cmd/refsim -mix WL-6 -density 32 -policy perbank \
+		-scale 512 -footprint-scale 0.05 -warmup 0 -measure 1 \
+		-timeline timeline_perbank.json
+	$(GO) run ./cmd/refsim -mix WL-6 -density 32 -codesign \
+		-scale 512 -footprint-scale 0.05 -warmup 0 -measure 1 \
+		-timeline timeline_codesign.json
+	@echo "wrote timeline_perbank.json and timeline_codesign.json — open in https://ui.perfetto.dev"
 
 # One regeneration per figure benchmark plus the substrate
 # microbenchmarks (allocs/op for the event-engine hot path).

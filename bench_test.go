@@ -23,6 +23,7 @@ import (
 	"refsched/internal/kernel/buddy"
 	"refsched/internal/rbtree"
 	"refsched/internal/sim"
+	"refsched/internal/timeline"
 	"refsched/internal/workload"
 )
 
@@ -305,6 +306,31 @@ func BenchmarkEngineScheduleStep(b *testing.B) {
 	e := sim.NewEngine()
 	e.Reserve(256)
 	fn := func() {}
+	for i := 0; i < 128; i++ {
+		e.Schedule(sim.Time(i%31)+1, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(sim.Time(i%31)+1, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineTimelineDisabled pins the cost of the tracing seam
+// when tracing is off: the hot path guards every emission behind a nil
+// check on the recorder, so a disabled timeline must add zero
+// allocations to the engine loop (the acceptance contract for keeping
+// timeline hooks compiled into the simulator unconditionally).
+func BenchmarkEngineTimelineDisabled(b *testing.B) {
+	e := sim.NewEngine()
+	e.Reserve(256)
+	var tl *timeline.Recorder // disabled: exactly how mc/kernel hold it
+	fn := func() {
+		if tl != nil {
+			tl.Span(timeline.PidCPU, 0, "tick", 0, 1)
+		}
+	}
 	for i := 0; i < 128; i++ {
 		e.Schedule(sim.Time(i%31)+1, fn)
 	}

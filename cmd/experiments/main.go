@@ -33,6 +33,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -63,6 +64,8 @@ func main() {
 		chaosFrac = flag.Float64("chaos-frac", 0, "inject faults into this fraction of cells (failure drills)")
 		chaosSeed = flag.Uint64("chaos-seed", 1, "seed for deterministic fault placement")
 		chaosMode = flag.String("chaos-mode", "transient", "fault shape: transient|error|panic|stall|mixed")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile of the run to FILE")
 	)
 	flag.Parse()
 
@@ -110,6 +113,26 @@ func main() {
 		p.Chaos = chaos.New(chaos.Config{Seed: *chaosSeed, Frac: *chaosFrac, Mode: mode})
 	}
 
+	// The profile must be stopped (flushed) on every exit path, and
+	// os.Exit skips deferred calls, so the stop hook is invoked
+	// explicitly before each exit below.
+	stopProfile := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+
 	// SIGINT cancels gracefully: in-flight cells finish (and are
 	// journaled); a second SIGINT kills the process the hard way.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -129,6 +152,7 @@ func main() {
 		n, err := runTarget(t, p)
 		quarantined += n
 		if err != nil {
+			stopProfile()
 			if errors.Is(err, context.Canceled) {
 				fmt.Fprintf(os.Stderr, "experiments: interrupted: %v\n", err)
 				if *journalDir != "" {
@@ -141,6 +165,7 @@ func main() {
 		}
 		bench.record(t, time.Since(t0))
 	}
+	stopProfile()
 	fmt.Printf("total: %s\n", time.Since(start).Round(time.Second))
 	if err := bench.write(); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)

@@ -9,6 +9,10 @@
 //	POST /v1/jobs                 enqueue a figure or single-cell job
 //	GET  /v1/jobs/{id}            job status (progress, typed failures)
 //	GET  /v1/jobs/{id}/events     NDJSON progress stream (replay + live)
+//	GET  /v1/jobs/{id}/timeline   the job's wall-clock trace (queue wait,
+//	                              gate admissions, per-cell simulation
+//	                              spans) as Perfetto-loadable Chrome
+//	                              trace-event JSON
 //	GET  /v1/figures/{name}       synchronous cached-or-computed figure;
 //	                              the body is byte-identical to what
 //	                              cmd/experiments prints for that target
@@ -20,14 +24,21 @@
 // SIGINT/SIGTERM drain gracefully: in-flight jobs get -drain to finish,
 // then the result cache is persisted to -journal (if set) so the next
 // start serves previously computed figures instantly.
+//
+// Logging is structured (log/slog) on stderr — one request-ID-tagged
+// access-log line per HTTP request — as text by default or JSON with
+// -log-format json. -pprof additionally mounts net/http/pprof under
+// /debug/pprof/ for live profiling.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -61,6 +72,9 @@ func main() {
 		shards     = flag.Int("cache-shards", 0, "result cache shard count (0 = default 8)")
 		journal    = flag.String("journal", "", "persist the result cache here on shutdown and warm from it on start")
 		drain      = flag.Duration("drain", 0, "how long shutdown waits for in-flight jobs (0 = default 30s)")
+
+		logFormat = flag.String("log-format", "text", "structured log encoding on stderr: text|json")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -68,6 +82,19 @@ func main() {
 		fmt.Println(buildinfo.Get())
 		return
 	}
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "refschedd: -log-format must be text or json, got %q\n", *logFormat)
+		os.Exit(2)
+	}
+	log := slog.New(handler)
+
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "refschedd: unexpected arguments %v\n", flag.Args())
 		os.Exit(2)
@@ -101,27 +128,44 @@ func main() {
 		CacheShards:  *shards,
 		JournalPath:  *journal,
 		DrainTimeout: *drain,
+		Logger:       log,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "refschedd: %v\n", err)
+		log.Error("startup failed", "error", err)
 		os.Exit(1)
+	}
+
+	// The profiling endpoints mount on an outer mux so the service
+	// handler (and its access log) stays unaware of them; without
+	// -pprof the paths simply 404.
+	var root http.Handler = svc
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", svc)
+		root = mux
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "refschedd: %v\n", err)
+		log.Error("listen failed", "addr", *addr, "error", err)
 		os.Exit(1)
 	}
 	if *portFile != "" {
 		port := ln.Addr().(*net.TCPAddr).Port
 		if err := os.WriteFile(*portFile, []byte(strconv.Itoa(port)+"\n"), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "refschedd: %v\n", err)
+			log.Error("writing port file failed", "path", *portFile, "error", err)
 			os.Exit(1)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "refschedd: %s listening on %s\n", buildinfo.Get(), ln.Addr())
+	log.Info("listening", "addr", ln.Addr().String(),
+		"version", buildinfo.Get().String(), "pprof", *pprofOn)
 
-	httpSrv := &http.Server{Handler: svc}
+	httpSrv := &http.Server{Handler: root}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
@@ -130,26 +174,26 @@ func main() {
 	select {
 	case <-ctx.Done():
 	case err := <-serveErr:
-		fmt.Fprintf(os.Stderr, "refschedd: %v\n", err)
+		log.Error("serve failed", "error", err)
 		os.Exit(1)
 	}
 	stop()
 
 	// Drain: finish in-flight jobs (bounded by -drain), persist the
 	// cache, then let in-flight HTTP responses flush.
-	fmt.Fprintln(os.Stderr, "refschedd: draining")
+	log.Info("draining")
 	shutCtx, cancel := context.WithTimeout(context.Background(), svcDrainBudget(*drain))
 	defer cancel()
 	if err := svc.Shutdown(shutCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "refschedd: drain: %v\n", err)
+		log.Error("drain failed", "error", err)
 		httpSrv.Shutdown(shutCtx)
 		os.Exit(1)
 	}
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "refschedd: %v\n", err)
+		log.Error("http shutdown failed", "error", err)
 		os.Exit(1)
 	}
-	fmt.Fprintln(os.Stderr, "refschedd: drained cleanly")
+	log.Info("drained cleanly")
 }
 
 // svcDrainBudget gives the whole shutdown sequence a hard ceiling a

@@ -112,6 +112,84 @@ func getFigure(t *testing.T, base, wantCache string) string {
 	return string(body)
 }
 
+// TestPprofSmoke: with -pprof the daemon answers /debug/pprof/; without
+// the flag those paths 404 (the endpoints are strictly opt-in), and in
+// both cases the service API keeps working underneath the outer mux.
+func TestPprofSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the daemon binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "refschedd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	for _, tc := range []struct {
+		name   string
+		pprof  bool
+		status int
+	}{
+		{"enabled", true, http.StatusOK},
+		{"disabled", false, http.StatusNotFound},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			portFile := filepath.Join(dir, "port-"+tc.name)
+			args := []string{"-addr", "127.0.0.1:0", "-port-file", portFile, "-quick"}
+			if tc.pprof {
+				args = append(args, "-pprof")
+			}
+			cmd := exec.Command(bin, args...)
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
+			exited := make(chan error, 1)
+			go func() { exited <- cmd.Wait() }()
+			defer func() {
+				cmd.Process.Signal(syscall.SIGTERM)
+				select {
+				case <-exited:
+				case <-time.After(30 * time.Second):
+					cmd.Process.Kill()
+				}
+			}()
+
+			base := waitReady(t, portFile, exited)
+			resp, err := http.Get(base + "/debug/pprof/goroutine?debug=1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("/debug/pprof/goroutine status = %d, want %d\n%s",
+					resp.StatusCode, tc.status, body)
+			}
+			if tc.pprof && !strings.Contains(string(body), "goroutine") {
+				t.Fatalf("pprof body does not look like a goroutine profile:\n%s", body)
+			}
+		})
+	}
+}
+
+// TestLogFormatFlag: an invalid -log-format is a usage error (exit 2).
+func TestLogFormatFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs the go tool")
+	}
+	cmd := exec.Command("go", "run", ".", "-log-format", "yaml")
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() == 0 {
+		t.Fatalf("invalid -log-format: err=%v out=%s", err, out)
+	}
+	if !strings.Contains(string(out), "-log-format") {
+		t.Fatalf("error output does not mention the flag:\n%s", out)
+	}
+}
+
 // TestVersionFlag: -version prints the build stamp and exits 0.
 func TestVersionFlag(t *testing.T) {
 	if testing.Short() {

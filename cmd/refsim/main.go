@@ -58,6 +58,7 @@ func main() {
 		journalPath = flag.String("journal", "", "journal file for completed runs (empty = no journaling)")
 		resume      = flag.Bool("resume", false, "skip runs already recorded in the journal (requires -journal)")
 		metricsPath = flag.String("metrics", "", "write a JSON metrics snapshot per run to FILE (full per-bank/per-task hierarchy)")
+		tlPath      = flag.String("timeline", "", "write a Perfetto-loadable timeline (Chrome trace-event JSON) per run to FILE; with several mixes each run writes FILE.<slot> (journal-resumed runs have no live system and write none)")
 	)
 	flag.Parse()
 
@@ -90,7 +91,7 @@ func main() {
 	// a stale journal from a different configuration is never resumed.
 	var jnl *journal.Journal
 	if *journalPath != "" {
-		fp := fmt.Sprintf("v2 density=%d policy=%s codesign=%t hot=%t scale=%d warm=%d meas=%d fp=%g seed=%d bench=%q",
+		fp := fmt.Sprintf("v3 density=%d policy=%s codesign=%t hot=%t scale=%d warm=%d meas=%d fp=%g seed=%d bench=%q",
 			*density, *policy, *codesign, *hot, *scale, *warmup, *measure, *fpScale, *seed, *benchCSV)
 		jnl, err = journal.Open(*journalPath, fp)
 		if err != nil {
@@ -125,7 +126,31 @@ func main() {
 				if err != nil {
 					return nil, err
 				}
+				var tl *refsched.TimelineRecorder
+				var tlFile *os.File
+				if *tlPath != "" {
+					path := *tlPath
+					if len(mixes) > 1 {
+						path = fmt.Sprintf("%s.%d", path, i)
+					}
+					tlFile, err = os.Create(path)
+					if err != nil {
+						return nil, err
+					}
+					defer tlFile.Close()
+					if tl, err = sys.AttachTimeline(tlFile); err != nil {
+						return nil, err
+					}
+				}
 				rep, err := sys.RunWindows(*warmup, *measure)
+				if err == nil && tl != nil {
+					if err := tl.Flush(); err != nil {
+						return nil, fmt.Errorf("timeline: %w", err)
+					}
+					if err := tlFile.Close(); err != nil {
+						return nil, fmt.Errorf("timeline: %w", err)
+					}
+				}
 				if err == nil && *metricsPath != "" {
 					snap := sys.MetricsSnapshot()
 					snaps[i] = &snap

@@ -79,6 +79,11 @@ type Report struct {
 	// OS aggregates (cumulative over the whole run, including warmup,
 	// as the paper's OS-side counters are).
 	SchedStats     sched.Stats          `json:"sched_stats"`
+	// SchedSkips is the distribution of consecutive candidates skipped
+	// per pick_next_task call (unit-width buckets); mass at or beyond
+	// η is the fallback regime. Cumulative over the whole run, like
+	// SchedStats.
+	SchedSkips     metrics.HistValue    `json:"sched_skips_per_pick"`
 	AllocStats     buddy.PartitionStats `json:"alloc_stats"`
 	IdleQuanta     uint64               `json:"idle_quanta"`
 	TotalQuanta    uint64               `json:"total_quanta"`
@@ -224,6 +229,7 @@ func (s *System) report(snap metrics.Snapshot, measured uint64) *Report {
 		SkippedCandidates: end.Counter("sched.skipped_candidates"),
 		Migrations:        end.Counter("sched.migrations"),
 	}
+	r.SchedSkips = end.Histogram("sched.skips_per_pick")
 	r.AllocStats = buddy.PartitionStats{
 		CacheHits: end.Counter("alloc.cache_hits"),
 		BuddyHits: end.Counter("alloc.buddy_hits"),

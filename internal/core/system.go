@@ -18,6 +18,7 @@ import (
 	"refsched/internal/metrics"
 	"refsched/internal/refresh"
 	"refsched/internal/sim"
+	"refsched/internal/timeline"
 	"refsched/internal/trace"
 	"refsched/internal/workload"
 )
@@ -166,7 +167,9 @@ func (s *System) registerMetrics() {
 		scope.CounterPtr("fallback_pages", &t.FallbackPages)
 	}
 
-	root.Sub("sched").Struct(s.Kernel.Picker().Stats())
+	schedScope := root.Sub("sched")
+	schedScope.Struct(s.Kernel.Picker().Stats())
+	schedScope.Histogram("skips_per_pick", s.Kernel.Picker().SkipHistogram())
 	root.Sub("alloc").Struct(&s.Kernel.Allocator().Stats)
 	root.Sub("kernel").Struct(&s.Kernel.Stats)
 }
@@ -208,6 +211,35 @@ func (s *System) AttachTrace(w io.Writer) (*trace.Recorder, error) {
 		c.SetTracer(func(cycle, addr uint64, write bool, task int) {
 			rec.Record(trace.Record{Cycle: cycle, Addr: addr, Write: write, TaskID: int32(task)})
 		})
+	}
+	return rec, nil
+}
+
+// AttachTimeline records simulator spans — per-bank refresh busy
+// slots, refresh-stalled reads, per-core task quanta, and scheduler
+// skip decisions — into a Perfetto-loadable timeline flushed to w as
+// Chrome trace-event JSON. Call before Run; call the returned
+// recorder's Flush after Run. Simulated cycles are emitted as integer
+// trace microseconds (1 cycle = 1 µs of trace time). See
+// internal/timeline for the track layout.
+func (s *System) AttachTimeline(w io.Writer) (*timeline.Recorder, error) {
+	if s.started {
+		return nil, fmt.Errorf("core: cannot attach a timeline after Run")
+	}
+	rec := timeline.NewRecorder(w, 0)
+	rec.SetProcessName(timeline.PidCPU, "cpu")
+	for _, c := range s.Cores {
+		rec.SetThreadName(timeline.PidCPU, int32(c.ID), fmt.Sprintf("core%d", c.ID))
+	}
+	s.Kernel.SetTimeline(rec)
+	for i, c := range s.MCs {
+		pid := int32(timeline.PidDRAMBase + i)
+		rec.SetProcessName(pid, fmt.Sprintf("dram ch%d (%s)", i, s.Cfg.Refresh.Policy))
+		ch := s.Chans[i]
+		for g := 0; g < ch.TotalBanks(); g++ {
+			rec.SetThreadName(pid, int32(g), fmt.Sprintf("bank%d", g))
+		}
+		c.SetTimeline(rec, pid)
 	}
 	return rec, nil
 }

@@ -47,7 +47,9 @@ func (p Params) bundleJob(key string, d config.Density, b bundle, highTemp bool,
 func (p Params) Fingerprint() string {
 	// v2: Report JSON moved to stable snake_case field names, so v1
 	// journals (PascalCase keys) must not be resumed.
-	return fmt.Sprintf("v2 scale=%d fp=%g warm=%d meas=%d seed=%d",
+	// v3: Report gained sched_skips_per_pick; v2 journal entries would
+	// resume with the histogram silently empty.
+	return fmt.Sprintf("v3 scale=%d fp=%g warm=%d meas=%d seed=%d",
 		p.Scale, p.FootprintScale, p.WarmupWindows, p.MeasureWindows, p.Seed)
 }
 

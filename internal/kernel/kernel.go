@@ -16,6 +16,7 @@ import (
 	"refsched/internal/kernel/vm"
 	"refsched/internal/refresh"
 	"refsched/internal/sim"
+	"refsched/internal/timeline"
 	"refsched/internal/workload"
 )
 
@@ -141,6 +142,13 @@ type Kernel struct {
 	runStart []sim.Time
 	lastTask []*Task
 
+	// tl, when set, records per-core quantum spans and pick-skip
+	// instants on the CPU tracks (pid timeline.PidCPU, tid = core id);
+	// lastSkips holds the η skip count of each core's current pick so
+	// the quantum span can carry it as an arg.
+	tl        *timeline.Recorder
+	lastSkips []uint64
+
 	Stats Stats
 }
 
@@ -166,6 +174,15 @@ func New(eng *sim.Engine, cfg *config.System, alloc *buddy.PartitionAllocator, m
 		quantum:  cfg.Timeslice(),
 		runStart: make([]sim.Time, len(cores)),
 		lastTask: make([]*Task, len(cores)),
+	}
+}
+
+// SetTimeline installs a timeline recorder for the per-core CPU
+// tracks (nil disables recording).
+func (k *Kernel) SetTimeline(rec *timeline.Recorder) {
+	k.tl = rec
+	if k.lastSkips == nil {
+		k.lastSkips = make([]uint64, len(k.cores))
 	}
 }
 
@@ -300,6 +317,10 @@ func (k *Kernel) avoidMask(from, to sim.Time) buddy.BankMask {
 func (k *Kernel) dispatch(c *cpu.Core, now sim.Time) {
 	end := k.boundary(now)
 	avoid := k.avoidMask(now, end)
+	var skippedBefore uint64
+	if k.tl != nil {
+		skippedBefore = k.picker.Stats().SkippedCandidates
+	}
 	ent := k.picker.PickNext(c.ID, avoid)
 	if ent == nil {
 		// Idle until the next boundary.
@@ -312,6 +333,15 @@ func (k *Kernel) dispatch(c *cpu.Core, now sim.Time) {
 	task := k.tasks[ent.TaskID]
 	k.runStart[c.ID] = now
 	k.lastTask[c.ID] = task
+	if k.tl != nil {
+		skipped := k.picker.Stats().SkippedCandidates - skippedBefore
+		k.lastSkips[c.ID] = skipped
+		if skipped > 0 {
+			k.tl.Emit(timeline.Event{Ph: timeline.PhaseInstant, Ts: uint64(now),
+				Pid: timeline.PidCPU, Tid: int32(c.ID), Name: "skip",
+				Arg1Name: "skipped", Arg1: int64(skipped)})
+		}
+	}
 	start := now
 	if cost := k.cfg.OS.CtxSwitchCycles; cost > 0 {
 		// Cap the charge at ~1.5% of a quantum so aggressive time
@@ -337,6 +367,17 @@ func (k *Kernel) dispatch(c *cpu.Core, now sim.Time) {
 func (k *Kernel) onQuantumEnd(c *cpu.Core, at sim.Time) {
 	ran := uint64(at - k.runStart[c.ID])
 	if t := k.lastTask[c.ID]; t != nil {
+		if k.tl != nil {
+			// The span starts at runStart, in the past; the only
+			// other CPU-track event since dispatch is the skip
+			// instant at the same timestamp, so per-track order in
+			// the serialised file stays monotone.
+			k.tl.Emit(timeline.Event{Ph: timeline.PhaseSpan,
+				Ts: uint64(k.runStart[c.ID]), Dur: ran,
+				Pid: timeline.PidCPU, Tid: int32(c.ID), Name: t.Bench.Name,
+				Arg1Name: "task", Arg1: int64(t.id),
+				Arg2Name: "skipped", Arg2: int64(k.lastSkips[c.ID])})
+		}
 		k.picker.Put(t.Ent, ran)
 		k.maybeSleep(t, at)
 	}

@@ -9,6 +9,7 @@ package sched
 import (
 	"refsched/internal/kernel/buddy"
 	"refsched/internal/rbtree"
+	"refsched/internal/stats"
 )
 
 // Entity is a schedulable task as the scheduler sees it.
@@ -72,7 +73,18 @@ type Picker interface {
 	LoadBalance() int
 	// Stats exposes decision counters.
 	Stats() *Stats
+	// SkipHistogram exposes the distribution of consecutive
+	// candidates skipped per pick (bucket width 1): bucket 0 is a
+	// clean leftmost pick, higher buckets show Algorithm 3 passing
+	// over tasks, and mass at or beyond η is the fallback regime the
+	// raw SkippedCandidates counter cannot distinguish.
+	SkipHistogram() *stats.Histogram
 }
+
+// skipHistBuckets sizes the per-pick skip histograms: unit-width
+// buckets comfortably covering the η values the paper sweeps (≤ 10)
+// with headroom for experiments.
+const skipHistBuckets = 16
 
 // less orders entities by (vruntime, TaskID): the classic CFS key with a
 // deterministic tie-break.
@@ -95,6 +107,7 @@ type CFS struct {
 	BestEffort bool
 
 	stats Stats
+	skips *stats.Histogram
 }
 
 // NewCFS builds a CFS with ncpu runqueues.
@@ -103,7 +116,8 @@ func NewCFS(ncpu, eta int, bestEffort bool) *CFS {
 	for i := range qs {
 		qs[i] = rbtree.New(less)
 	}
-	return &CFS{queues: qs, Eta: eta, BestEffort: bestEffort}
+	return &CFS{queues: qs, Eta: eta, BestEffort: bestEffort,
+		skips: stats.NewHistogram(1, skipHistBuckets)}
 }
 
 // Enqueue implements Picker.
@@ -142,6 +156,7 @@ func (s *CFS) PickNext(cpu int, avoid buddy.BankMask) *Entity {
 
 	first := q.Min().Value
 	if avoid == 0 {
+		s.skips.Add(0)
 		s.dequeue(first)
 		return first
 	}
@@ -174,13 +189,21 @@ func (s *CFS) PickNext(cpu int, avoid buddy.BankMask) *Entity {
 	case pick != nil:
 		s.stats.EligiblePicks++
 		s.stats.SkippedCandidates += uint64(count - 1)
+		s.skips.Add(uint64(count - 1))
 	case s.BestEffort && best != nil:
 		pick = best
 		s.stats.BestEffortPicks++
 		s.stats.SkippedCandidates += uint64(count - 1)
+		s.skips.Add(uint64(count - 1))
 	default:
 		pick = first
 		s.stats.FallbackPicks++
+		// η exhausted: every examined candidate was passed over
+		// before the forced leftmost pick. The raw counter leaves
+		// these out (the pick is not refresh-aware), but the
+		// histogram records them — this is exactly the η-exhaustion
+		// mass the distribution exists to expose.
+		s.skips.Add(uint64(count))
 	}
 	s.dequeue(pick)
 	return pick
@@ -238,16 +261,21 @@ func (s *CFS) LoadBalance() int {
 // Stats implements Picker.
 func (s *CFS) Stats() *Stats { return &s.stats }
 
+// SkipHistogram implements Picker.
+func (s *CFS) SkipHistogram() *stats.Histogram { return s.skips }
+
 // RR is the paper's baseline scheduler: per-CPU FIFO round-robin with a
 // fixed time slice, refresh-oblivious.
 type RR struct {
 	queues [][]*Entity
 	stats  Stats
+	skips  *stats.Histogram
 }
 
 // NewRR builds a round-robin scheduler with ncpu queues.
 func NewRR(ncpu int) *RR {
-	return &RR{queues: make([][]*Entity, ncpu)}
+	return &RR{queues: make([][]*Entity, ncpu),
+		skips: stats.NewHistogram(1, skipHistBuckets)}
 }
 
 // Enqueue implements Picker.
@@ -280,6 +308,7 @@ func (s *RR) PickNext(cpu int, _ buddy.BankMask) *Entity {
 		return nil
 	}
 	s.stats.Picks++
+	s.skips.Add(0) // the baseline never passes a task over
 	e := q[0]
 	s.queues[cpu] = q[1:]
 	e.onRQ = false
@@ -326,3 +355,6 @@ func (s *RR) LoadBalance() int {
 
 // Stats implements Picker.
 func (s *RR) Stats() *Stats { return &s.stats }
+
+// SkipHistogram implements Picker.
+func (s *RR) SkipHistogram() *stats.Histogram { return s.skips }

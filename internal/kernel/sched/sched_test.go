@@ -274,3 +274,77 @@ func TestCFSFairnessUnderRefreshAwareness(t *testing.T) {
 		t.Fatalf("fallbacks = %d, want 0", s.Stats().FallbackPicks)
 	}
 }
+
+// TestCFSSkipHistogram pins the skips-per-pick distribution: a pick
+// with no refresh in flight records 0, an eligible pick records the
+// candidates walked past, and an η-exhausted fallback records every
+// examined candidate (the mass the raw SkippedCandidates counter
+// deliberately excludes).
+func TestCFSSkipHistogram(t *testing.T) {
+	s := NewCFS(1, 2, false) // eta = 2
+	all := buddy.AllBanks(16)
+	es := entities(3)
+	for i, e := range es {
+		e.Vruntime = uint64(i)
+		e.Mask = all
+		s.Enqueue(0, e)
+	}
+
+	// Pick 1: no refresh in flight → bucket 0.
+	s.Put(s.PickNext(0, 0), 10)
+	// Pick 2: all candidates conflict, η=2 exhausted → fallback
+	// records 2 examined skips; the raw counter stays at 0.
+	s.Put(s.PickNext(0, buddy.BankMask(0).Set(3)), 10)
+
+	v := s.SkipHistogram().View()
+	if v.Count != 2 || v.Sum != 2 || v.Max != 2 {
+		t.Fatalf("histogram = %+v, want count=2 sum=2 max=2", v)
+	}
+	if v.Counts[0] != 1 || v.Counts[2] != 1 {
+		t.Fatalf("buckets = %v, want one sample at 0 and one at 2", v.Counts)
+	}
+	if got := s.Stats().SkippedCandidates; got != 0 {
+		t.Fatalf("SkippedCandidates = %d, want 0 (fallback picks excluded)", got)
+	}
+}
+
+// TestCFSSkipHistogramEligible: an eligible pick that walked past one
+// conflicting candidate lands in bucket 1 and bumps the raw counter.
+func TestCFSSkipHistogramEligible(t *testing.T) {
+	s := NewCFS(1, 4, false)
+	all := buddy.AllBanks(16)
+	es := entities(2)
+	es[0].Vruntime = 1
+	es[0].Mask = all // conflicts with any avoid
+	es[1].Vruntime = 2
+	es[1].Mask = all &^ (1 << 5)
+	s.Enqueue(0, es[0])
+	s.Enqueue(0, es[1])
+
+	if got := s.PickNext(0, buddy.BankMask(0).Set(5)); got != es[1] {
+		t.Fatalf("picked %d, want 1", got.TaskID)
+	}
+	v := s.SkipHistogram().View()
+	if v.Count != 1 || v.Counts[1] != 1 {
+		t.Fatalf("histogram = %+v, want one sample in bucket 1", v)
+	}
+	if got := s.Stats().SkippedCandidates; got != 1 {
+		t.Fatalf("SkippedCandidates = %d, want 1", got)
+	}
+}
+
+// TestRRSkipHistogram: the refresh-oblivious baseline records every
+// pick as zero skips, so the exported distribution stays comparable
+// across policy bundles.
+func TestRRSkipHistogram(t *testing.T) {
+	s := NewRR(1)
+	es := entities(2)
+	s.Enqueue(0, es[0])
+	s.Enqueue(0, es[1])
+	s.Put(s.PickNext(0, buddy.BankMask(0).Set(3)), 10)
+	s.Put(s.PickNext(0, 0), 10)
+	v := s.SkipHistogram().View()
+	if v.Count != 2 || v.Counts[0] != 2 || v.Sum != 0 {
+		t.Fatalf("histogram = %+v, want two zero samples", v)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"refsched/internal/dram"
 	"refsched/internal/refresh"
 	"refsched/internal/sim"
+	"refsched/internal/timeline"
 )
 
 // promptWindowFactor bounds how far into the future the controller will
@@ -56,6 +57,12 @@ type Controller struct {
 	// (cycle, line address, write, task).
 	tracer func(cycle, addr uint64, write bool, task int)
 
+	// tl, when set, records refresh busy slots and refresh-stalled
+	// reads onto this channel's bank tracks (pid tlPid, tid = global
+	// bank index).
+	tl    *timeline.Recorder
+	tlPid int32
+
 	// Utilization sampling for Adaptive Refresh.
 	utilLastReset sim.Time
 	utilIntegral  float64
@@ -95,6 +102,13 @@ func (c *Controller) Policy() refresh.Scheduler { return c.policy }
 // demand request (nil disables tracing).
 func (c *Controller) SetTracer(fn func(cycle, addr uint64, write bool, task int)) {
 	c.tracer = fn
+}
+
+// SetTimeline installs a timeline recorder for this channel's bank
+// tracks under process id pid (nil disables recording).
+func (c *Controller) SetTimeline(rec *timeline.Recorder, pid int32) {
+	c.tl = rec
+	c.tlPid = pid
 }
 
 // Channel returns the managed DRAM channel.
@@ -216,8 +230,37 @@ func (c *Controller) refreshTick() {
 		}
 		// Blocked requests become issuable when the refresh window ends.
 		c.scheduleIssue(end)
+		if c.tl != nil {
+			c.emitRefreshSpans(now, end, t)
+		}
 	}
 	c.eng.Schedule(c.policy.Interval(), c.refreshTick)
+}
+
+// emitRefreshSpans records the refresh command window [now, end) on
+// the affected bank tracks. Rank-level commands paint every bank of
+// the rank so sequential vs rotated per-bank schedules are visually
+// distinct from all-bank lockstep in Perfetto.
+func (c *Controller) emitRefreshSpans(now, end sim.Time, t refresh.Target) {
+	ts, dur := uint64(now), uint64(end-now)
+	switch {
+	case t.AllBank:
+		base := t.Rank * c.ch.BanksPerRank
+		for b := 0; b < c.ch.BanksPerRank; b++ {
+			c.tl.Emit(timeline.Event{Ph: timeline.PhaseSpan, Ts: ts, Dur: dur,
+				Pid: c.tlPid, Tid: int32(base + b), Name: "refresh(all)",
+				Arg1Name: "rows", Arg1: int64(t.Rows)})
+		}
+	case t.SubarrayLevel:
+		c.tl.Emit(timeline.Event{Ph: timeline.PhaseSpan, Ts: ts, Dur: dur,
+			Pid: c.tlPid, Tid: int32(t.GlobalBank), Name: "refresh(subarray)",
+			Arg1Name: "rows", Arg1: int64(t.Rows),
+			Arg2Name: "subarray", Arg2: int64(t.Subarray)})
+	default:
+		c.tl.Emit(timeline.Event{Ph: timeline.PhaseSpan, Ts: ts, Dur: dur,
+			Pid: c.tlPid, Tid: int32(t.GlobalBank), Name: "refresh",
+			Arg1Name: "rows", Arg1: int64(t.Rows)})
+	}
 }
 
 // --- FR-FCFS issue engine ---
@@ -340,7 +383,17 @@ func (c *Controller) promptPlan(r *Request, now sim.Time) (dram.AccessPlan, bool
 			if !r.Write && !r.RefreshStalled {
 				r.RefreshStalled = true
 				c.Stats.RefreshStalledReads++
-				c.Stats.RefreshStallCycles += uint64(bank.RowRefreshUntil(r.Coord.Row) - now)
+				until := bank.RowRefreshUntil(r.Coord.Row)
+				c.Stats.RefreshStallCycles += uint64(until - now)
+				if c.tl != nil {
+					c.tl.Emit(timeline.Event{Ph: timeline.PhaseSpan,
+						Ts: uint64(now), Dur: uint64(until - now),
+						Pid:  c.tlPid,
+						Tid:  int32(r.Coord.GlobalBank(c.ch.BanksPerRank)),
+						Name: "stalled-read",
+						Arg1Name: "task", Arg1: int64(r.TaskID),
+						Arg2Name: "row", Arg2: int64(r.Coord.Row)})
+				}
 			}
 			return dram.AccessPlan{}, false
 		}

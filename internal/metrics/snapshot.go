@@ -20,6 +20,14 @@ type HistValue struct {
 }
 
 // histValue converts a stats view into the snapshot form.
+// View converts back to the stats-package form, so snapshot values can
+// be folded into a live histogram via stats.Histogram.Merge (the
+// service aggregates per-cell report histograms this way).
+func (h HistValue) View() stats.HistogramView {
+	return stats.HistogramView{Width: h.Width, Counts: h.Counts, Over: h.Over,
+		Count: h.Count, Sum: h.Sum, Max: h.Max}
+}
+
 func histValue(v stats.HistogramView) HistValue {
 	return HistValue{Width: v.Width, Counts: v.Counts, Over: v.Over,
 		Count: v.Count, Sum: v.Sum, Max: v.Max}

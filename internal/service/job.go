@@ -8,7 +8,34 @@ import (
 
 	"refsched/internal/harness"
 	"refsched/internal/runner"
+	"refsched/internal/timeline"
 )
+
+// Service-timeline track numbering (wall-clock traces; disjoint from
+// the simulator convention in internal/timeline). One process groups
+// the HTTP/job bookkeeping tracks, another the simulation cell lanes.
+const (
+	tlPidService  = 1
+	tlTidRequests = 0 // HTTP request spans, correlated by request id
+	tlTidJob      = 1 // queued/run spans, cache and dedup instants
+	tlTidGate     = 2 // cell-gate admission instants
+	tlPidCells    = 2 // one thread per concurrent cell lane
+)
+
+// newJobTimeline builds a job's always-on recorder. Timestamps are
+// wall-clock microseconds since the job was created. The ring is
+// deliberately small (events beyond it drop oldest-first): a job's
+// event count is a handful of request/job spans plus two per simulated
+// cell, and up to finishedRetain finished jobs stay resident.
+func newJobTimeline(id string) *timeline.Recorder {
+	rec := timeline.NewRecorder(nil, 1024)
+	rec.SetProcessName(tlPidService, "refschedd")
+	rec.SetThreadName(tlPidService, tlTidRequests, "requests")
+	rec.SetThreadName(tlPidService, tlTidJob, "job "+id)
+	rec.SetThreadName(tlPidService, tlTidGate, "cell gate")
+	rec.SetProcessName(tlPidCells, "simulation cells")
+	return rec
+}
 
 // Request is the body of POST /v1/jobs: exactly one of Figure (a CLI
 // target such as "fig10") or Cell (one fully addressed simulation
@@ -167,6 +194,13 @@ type job struct {
 	hub  *eventHub
 	done chan struct{} // closed exactly once, when the job finishes
 
+	// tl is the job's wall-clock timeline (GET /v1/jobs/{id}/timeline):
+	// request spans, queue/run spans, gate admissions, and per-cell
+	// simulation spans, correlated by request id. reqID is the id of
+	// the HTTP request that created the job.
+	tl    *timeline.Recorder
+	reqID string
+
 	mu         sync.Mutex
 	state      JobState
 	started    time.Time
@@ -178,6 +212,48 @@ type job struct {
 	deduped    int
 	cellsDone  int
 	cellsTotal int
+	// lanes allocates cell-span tracks: a cell holds one lane for its
+	// whole run, so per-lane timestamps are naturally monotone.
+	lanes []bool
+}
+
+// sinceUS is the job-timeline clock: wall microseconds since creation.
+func (j *job) sinceUS() uint64 {
+	if d := time.Since(j.created); d > 0 {
+		return uint64(d.Microseconds())
+	}
+	return 0
+}
+
+// tsUS converts an absolute time to the job-timeline clock, clamping
+// times before creation (the creating HTTP request starts first) to 0.
+func (j *job) tsUS(t time.Time) uint64 {
+	if d := t.Sub(j.created); d > 0 {
+		return uint64(d.Microseconds())
+	}
+	return 0
+}
+
+// acquireLane claims the lowest free cell lane, naming it on first use.
+func (j *job) acquireLane() int32 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for i, used := range j.lanes {
+		if !used {
+			j.lanes[i] = true
+			return int32(i)
+		}
+	}
+	j.lanes = append(j.lanes, true)
+	lane := int32(len(j.lanes) - 1)
+	j.tl.SetThreadName(tlPidCells, lane, fmt.Sprintf("lane%d", lane))
+	return lane
+}
+
+func (j *job) releaseLane(lane int32) {
+	j.mu.Lock()
+	j.lanes[lane] = false
+	j.mu.Unlock()
 }
 
 func (j *job) setRunning() {
@@ -185,6 +261,10 @@ func (j *job) setRunning() {
 	j.state = JobRunning
 	j.started = time.Now()
 	j.mu.Unlock()
+	// The queue-wait span covers creation to start of execution.
+	j.tl.Emit(timeline.Event{Ph: timeline.PhaseSpan, Ts: 0, Dur: j.sinceUS(),
+		Pid: tlPidService, Tid: tlTidJob, Name: "queued",
+		StrName: "req", Str: j.reqID})
 	j.hub.publish(map[string]any{"event": "state", "job": j.id, "state": JobRunning})
 }
 

@@ -26,6 +26,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"strconv"
@@ -41,6 +43,7 @@ import (
 	"refsched/internal/metrics"
 	"refsched/internal/runner"
 	"refsched/internal/stats"
+	"refsched/internal/timeline"
 	"refsched/internal/workload"
 )
 
@@ -79,6 +82,9 @@ type Config struct {
 	// DrainTimeout bounds how long Shutdown waits for in-flight jobs
 	// before cancelling them gracefully (default 30s).
 	DrainTimeout time.Duration
+	// Logger receives the structured access log (one request-ID-tagged
+	// line per HTTP request) and job lifecycle events. Nil discards.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +105,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 30 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	return c
 }
@@ -126,6 +135,9 @@ type Server struct {
 	finished []string        // finished job ids, oldest first (retention ring)
 	jobSeq   atomic.Uint64
 
+	log    *slog.Logger
+	reqSeq atomic.Uint64 // access-log request ids
+
 	// Counters behind /statsz and /metricsz. The atomics are the write
 	// targets; reg reads them (plus the queue, cache, and per-figure
 	// state) at snapshot time, so both endpoints are projections of one
@@ -145,7 +157,11 @@ type Server struct {
 // guarded by Server.figMu; the counters are atomics because cells
 // complete concurrently across workers.
 type figureMetrics struct {
-	lat                 *stats.Histogram
+	lat *stats.Histogram
+	// skips aggregates every computed cell's per-pick scheduler skip
+	// histogram (core.Report.SchedSkips); guarded by Server.figMu,
+	// like lat.
+	skips               *stats.Histogram
 	cells               atomic.Uint64
 	simEvents           atomic.Uint64
 	reads, writes       atomic.Uint64
@@ -168,6 +184,7 @@ func New(cfg Config) (*Server, error) {
 		active: map[string]*job{},
 		reg:    metrics.NewRegistry(),
 		figs:   map[string]*figureMetrics{},
+		log:    cfg.Logger,
 	}
 	s.runCtx, s.cancelRun = context.WithCancel(context.Background())
 	s.registerMetrics()
@@ -181,6 +198,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleEnqueue)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/timeline", s.handleJobTimeline)
 	s.mux.HandleFunc("GET /v1/figures/{name}", s.handleFigure)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
@@ -193,7 +211,57 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// reqInfo identifies one HTTP request for the access log and for
+// timeline correlation; handlers read it from the request context.
+type reqInfo struct {
+	id    string
+	start time.Time
+}
+
+type reqInfoKey struct{}
+
+func requestInfo(ctx context.Context) reqInfo {
+	ri, _ := ctx.Value(reqInfoKey{}).(reqInfo)
+	return ri
+}
+
+// statusWriter captures the response status for the access log while
+// passing streaming flushes through (the NDJSON events endpoint).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// ServeHTTP tags every request with an id, dispatches it, and writes
+// one structured access-log line: method, path, status, duration, and
+// cache disposition (for endpoints that set X-Cache).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	ri := reqInfo{id: fmt.Sprintf("req-%06d", s.reqSeq.Add(1)), start: time.Now()}
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, ri)))
+	attrs := []any{
+		"request_id", ri.id,
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", sw.status,
+		"duration_ms", float64(time.Since(ri.start).Microseconds()) / 1000,
+	}
+	if cache := sw.Header().Get("X-Cache"); cache != "" {
+		attrs = append(attrs, "cache", cache)
+	}
+	s.log.Info("request", attrs...)
+}
 
 // registerMetrics binds the daemon's observability state onto its
 // registry: queue shape, job outcome counters, cache behaviour, and
@@ -244,7 +312,10 @@ func (s *Server) figMetrics(figure string) *figureMetrics {
 		s.figMu.Unlock()
 		return fm
 	}
-	fm = &figureMetrics{lat: stats.NewHistogram(1, 8192)}
+	fm = &figureMetrics{
+		lat:   stats.NewHistogram(1, 8192),
+		skips: stats.NewHistogram(1, 16),
+	}
 	s.figs[figure] = fm
 	s.figMu.Unlock()
 
@@ -253,6 +324,11 @@ func (s *Server) figMetrics(figure string) *figureMetrics {
 		s.figMu.Lock()
 		defer s.figMu.Unlock()
 		return fm.lat.View()
+	})
+	scope.HistogramFunc("sched_skips_per_pick", func() stats.HistogramView {
+		s.figMu.Lock()
+		defer s.figMu.Unlock()
+		return fm.skips.View()
 	})
 	scope.CounterFunc("cells", fm.cells.Load)
 	scope.CounterFunc("sim_events", fm.simEvents.Load)
@@ -365,13 +441,43 @@ func (s *Server) cellRunner(j *job) harness.CellRunner {
 				fm.writes.Add(rep.Writes)
 				fm.refreshCommands.Add(rep.RefreshCommands)
 				fm.refreshStalledReads.Add(rep.RefreshStalledReads)
+				s.figMu.Lock()
+				fm.skips.Merge(rep.SchedSkips.View())
+				s.figMu.Unlock()
 			}
 			j.cellDone(c)
+		}
+		// Each cell runs on an exclusive timeline lane for its whole
+		// execution, so lane timestamps are monotone by construction;
+		// the span carries the creating request's id for correlation
+		// with the HTTP request span.
+		for i := range rjobs {
+			cell := rjobs[i].Cell
+			run := rjobs[i].Run
+			rjobs[i].Run = func() (*core.Report, error) {
+				lane := j.acquireLane()
+				t0 := j.sinceUS()
+				rep, err := run()
+				j.tl.Emit(timeline.Event{Ph: timeline.PhaseSpan,
+					Ts: t0, Dur: j.sinceUS() - t0,
+					Pid: tlPidCells, Tid: lane, Name: cell.String(),
+					Arg1Name: "seed", Arg1: int64(cell.Seed),
+					StrName: "req", Str: j.reqID})
+				j.releaseLane(lane)
+				return rep, err
+			}
 		}
 		if s.gate != nil {
 			priority := j.priority
 			opts.Gate = func(ctx context.Context) (func(), error) {
-				return s.gate.acquire(ctx, priority)
+				t0 := j.sinceUS()
+				release, err := s.gate.acquire(ctx, priority)
+				if err == nil {
+					j.tl.Emit(timeline.Event{Ph: timeline.PhaseInstant,
+						Ts: j.sinceUS(), Pid: tlPidService, Tid: tlTidGate,
+						Name: "admitted", Arg1Name: "wait_us", Arg1: int64(j.sinceUS() - t0)})
+				}
+				return release, err
 			}
 		}
 		return runner.RunBatch(ctx, rjobs, opts)
@@ -392,11 +498,13 @@ func (s *Server) execute(j *job) {
 		if body, ok := s.cache.Get(j.key); ok {
 			s.cacheHits.Add(1)
 			s.completed.Add(1)
+			j.tl.Instant(tlPidService, tlTidJob, "cache-hit", j.sinceUS())
 			s.finishJob(j, JobDone, body, nil, nil, true)
 			s.observeLatency(j.figure, time.Since(t0))
 			return
 		}
 	}
+	runStart := j.sinceUS()
 
 	p := j.params
 	p.Ctx = s.runCtx
@@ -430,6 +538,11 @@ func (s *Server) execute(j *job) {
 		}
 	}
 
+	j.tl.Emit(timeline.Event{Ph: timeline.PhaseSpan,
+		Ts: runStart, Dur: j.sinceUS() - runStart,
+		Pid: tlPidService, Tid: tlTidJob, Name: "run " + j.figure,
+		Arg1Name: "quarantined", Arg1: int64(len(failures)),
+		StrName: "req", Str: j.reqID})
 	switch {
 	case err != nil:
 		s.failed.Add(1)
@@ -445,6 +558,10 @@ func (s *Server) execute(j *job) {
 		s.finishJob(j, JobDone, body, nil, nil, false)
 	}
 	s.observeLatency(j.figure, time.Since(t0))
+	st := j.snapshot()
+	s.log.Info("job finished",
+		"job", j.id, "figure", j.figure, "state", st.State,
+		"cells", st.CellsDone, "duration_ms", float64(time.Since(t0).Microseconds())/1000)
 }
 
 // finishJob moves j to a terminal state and clears its single-flight
@@ -540,8 +657,9 @@ func validateCell(c *CellSpec) error {
 
 // enqueue resolves a request to a job: a coalesced in-flight job
 // (single-flight), an instantly-done job on cache hit, or a freshly
-// queued one. deduped reports coalescing.
-func (s *Server) enqueue(req Request) (j *job, deduped bool, err error) {
+// queued one. deduped reports coalescing. rid is the id of the HTTP
+// request asking, recorded on a fresh job for timeline correlation.
+func (s *Server) enqueue(req Request, rid string) (j *job, deduped bool, err error) {
 	if s.draining.Load() {
 		return nil, false, errDraining
 	}
@@ -570,8 +688,9 @@ func (s *Server) enqueue(req Request) (j *job, deduped bool, err error) {
 		return existing, true, nil
 	}
 
+	id := fmt.Sprintf("job-%06d", s.jobSeq.Add(1))
 	j = &job{
-		id:       fmt.Sprintf("job-%06d", s.jobSeq.Add(1)),
+		id:       id,
 		key:      key,
 		figure:   figure,
 		req:      req,
@@ -581,12 +700,15 @@ func (s *Server) enqueue(req Request) (j *job, deduped bool, err error) {
 		hub:      newEventHub(),
 		done:     make(chan struct{}),
 		state:    JobQueued,
+		tl:       newJobTimeline(id),
+		reqID:    rid,
 	}
 	s.enqueued.Add(1)
 
 	// Already computed: answer without a queue trip.
 	if body, ok := s.cache.Get(key); ok {
 		s.cacheHits.Add(1)
+		j.tl.Instant(tlPidService, tlTidJob, "cache-hit", j.sinceUS())
 		s.jobs[j.id] = j
 		s.finished = append(s.finished, j.id)
 		for len(s.finished) > finishedRetain {
@@ -601,6 +723,7 @@ func (s *Server) enqueue(req Request) (j *job, deduped bool, err error) {
 	if err := s.queue.push(j); err != nil {
 		return nil, false, err
 	}
+	j.tl.Instant(tlPidService, tlTidJob, "cache-miss", j.sinceUS())
 	s.jobs[j.id] = j
 	s.active[key] = j
 	j.hub.publish(map[string]any{"event": "state", "job": j.id, "state": JobQueued})
@@ -668,17 +791,49 @@ func (s *Server) handleEnqueue(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
 		return
 	}
-	j, deduped, err := s.enqueue(req)
+	ri := requestInfo(r.Context())
+	j, deduped, err := s.enqueue(req, ri.id)
 	if err != nil {
 		s.writeEnqueueError(w, err)
 		return
 	}
+	recordRequestSpan(j, ri, "POST /v1/jobs", deduped)
 	st := j.snapshot()
 	status := http.StatusAccepted
 	if deduped || st.State == JobDone {
 		status = http.StatusOK
 	}
 	writeJSON(w, status, map[string]any{"id": j.id, "state": st.State, "deduped": deduped})
+}
+
+// recordRequestSpan puts one HTTP request onto a job's request track:
+// a span from the request's start (clamped to the job's creation for
+// the creating request) to now, carrying the request id. Coalesced
+// requests are tagged so dedup fan-in is visible.
+func recordRequestSpan(j *job, ri reqInfo, name string, deduped bool) {
+	ts := j.tsUS(ri.start)
+	e := timeline.Event{Ph: timeline.PhaseSpan,
+		Ts: ts, Dur: j.sinceUS() - ts,
+		Pid: tlPidService, Tid: tlTidRequests, Name: name,
+		StrName: "req", Str: ri.id}
+	if deduped {
+		e.Arg1Name, e.Arg1 = "deduped", 1
+	}
+	j.tl.Emit(e)
+}
+
+// handleJobTimeline is GET /v1/jobs/{id}/timeline: the job's
+// wall-clock trace as Chrome trace-event JSON, loadable in Perfetto.
+// Available while the job runs (a consistent snapshot) and after it
+// finishes.
+func (s *Server) handleJobTimeline(w http.ResponseWriter, r *http.Request) {
+	j := s.getJob(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown job"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	j.tl.WriteTo(w)
 }
 
 // handleJobStatus is GET /v1/jobs/{id}.
@@ -743,7 +898,8 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		}
 		priority = p
 	}
-	j, _, err := s.enqueue(Request{Figure: name, Priority: priority})
+	ri := requestInfo(r.Context())
+	j, deduped, err := s.enqueue(Request{Figure: name, Priority: priority}, ri.id)
 	if err != nil {
 		s.writeEnqueueError(w, err)
 		return
@@ -754,6 +910,9 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		// Client gave up; the job still completes and warms the cache.
 		return
 	}
+	// Emitted after the wait, so the request span brackets the whole
+	// synchronous compute-or-cached exchange.
+	recordRequestSpan(j, ri, "GET /v1/figures/"+name, deduped)
 	state, body, jerr := j.result()
 	st := j.snapshot()
 	switch state {

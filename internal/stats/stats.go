@@ -131,6 +131,33 @@ func (h *Histogram) View() HistogramView {
 		Count: h.n, Sum: h.sum, Max: h.max}
 }
 
+// Merge folds a snapshot view into h bucket-wise: counts past h's
+// bucket range accumulate into the overflow bucket. Empty views merge
+// as a no-op (a zero-valued view carries no width to check); otherwise
+// the widths must match — merging differently-shaped histograms is a
+// programming error, like an invalid shape in NewHistogram.
+func (h *Histogram) Merge(v HistogramView) {
+	if v.Count == 0 {
+		return
+	}
+	if v.Width != h.Width {
+		panic("stats: merging histograms of different bucket widths")
+	}
+	for i, c := range v.Counts {
+		if i < len(h.buckets) {
+			h.buckets[i] += c
+		} else {
+			h.over += c
+		}
+	}
+	h.over += v.Over
+	h.n += v.Count
+	h.sum += v.Sum
+	if v.Max > h.max {
+		h.max = v.Max
+	}
+}
+
 // Mean returns the mean observation, or 0 when empty.
 func (h *Histogram) Mean() float64 {
 	if h.n == 0 {

@@ -31,6 +31,7 @@ import (
 	"refsched/internal/core"
 	"refsched/internal/metrics"
 	"refsched/internal/sim"
+	"refsched/internal/timeline"
 	"refsched/internal/trace"
 	"refsched/internal/workload"
 )
@@ -178,6 +179,17 @@ func ReadTrace(r io.Reader) ([]TraceRecord, error) { return trace.ReadAll(r) }
 // generator (register it with RegisterBenchmark to use it in a Mix).
 func ReplayGenerator(recs []TraceRecord) Generator { return trace.NewGen(recs) }
 
+// TimelineRecorder accumulates Perfetto-loadable span/instant events
+// (Chrome trace-event JSON). See System.AttachTimeline.
+type TimelineRecorder = timeline.Recorder
+
+// TimelineEvent is one event read back from a serialised timeline.
+type TimelineEvent = timeline.DecodedEvent
+
+// ReadTimeline parses and validates a Chrome trace-event JSON
+// timeline as written by a TimelineRecorder.
+func ReadTimeline(r io.Reader) ([]TimelineEvent, error) { return timeline.Decode(r) }
+
 // System is one wired simulated machine executing a workload mix.
 type System struct {
 	inner *core.System
@@ -206,6 +218,14 @@ func (s *System) Window() uint64 { return s.inner.Window() }
 // Call before Run and Flush the recorder afterwards.
 func (s *System) AttachTrace(w io.Writer) (*TraceRecorder, error) {
 	return s.inner.AttachTrace(w)
+}
+
+// AttachTimeline records a Perfetto-loadable timeline of the run —
+// per-bank refresh slots, refresh-stalled reads, per-core task quanta,
+// and scheduler skip decisions — flushed to w as Chrome trace-event
+// JSON. Call before Run and Flush the recorder afterwards.
+func (s *System) AttachTimeline(w io.Writer) (*TimelineRecorder, error) {
+	return s.inner.AttachTimeline(w)
 }
 
 // Run executes warmup cycles unmeasured, then measure cycles measured,

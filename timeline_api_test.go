@@ -1,0 +1,108 @@
+package refsched_test
+
+import (
+	"bytes"
+	"testing"
+
+	"refsched"
+	"refsched/internal/timeline"
+)
+
+// runTimeline runs the reduced-fidelity co-design cell (matching
+// benchParams) with a timeline attached and returns the serialised
+// trace bytes.
+func runTimeline(t *testing.T) []byte {
+	t.Helper()
+	cfg := refsched.CoDesign(refsched.DefaultConfig(refsched.Density32Gb, 512))
+	sys, err := refsched.NewSystemWithOptions(cfg, refsched.Table2()[5],
+		refsched.Options{FootprintScale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tl, err := sys.AttachTimeline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunWindows(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTimelineCapture runs the co-design through the public API and
+// checks the resulting trace is valid, per-track monotone, and has the
+// expected tracks: refresh spans on the DRAM process, task quanta on
+// the CPU process, and at least one refresh-stalled read.
+func TestTimelineCapture(t *testing.T) {
+	data := runTimeline(t)
+	events, err := refsched.ReadTimeline(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty timeline")
+	}
+	if err := timeline.CheckMonotone(events); err != nil {
+		t.Fatal(err)
+	}
+
+	var refreshes, quanta, stalls, skips int
+	for _, e := range events {
+		switch {
+		case e.Ph == "X" && e.Pid >= timeline.PidDRAMBase && e.Name == "refresh":
+			refreshes++
+		case e.Ph == "X" && e.Pid >= timeline.PidDRAMBase && e.Name == "stalled-read":
+			stalls++
+		case e.Ph == "X" && e.Pid == timeline.PidCPU:
+			quanta++
+		case e.Ph == "i" && e.Pid == timeline.PidCPU && e.Name == "skip":
+			skips++
+		}
+	}
+	if refreshes == 0 {
+		t.Error("no per-bank refresh spans on the DRAM track")
+	}
+	if quanta == 0 {
+		t.Error("no task quantum spans on the CPU track")
+	}
+	if stalls == 0 {
+		t.Error("no refresh-stalled read spans")
+	}
+	// The co-design should be skipping refreshing banks' tasks; skip
+	// instants are how η shows up on the timeline.
+	if skips == 0 {
+		t.Error("no scheduler skip instants under the co-design")
+	}
+
+	// Track metadata must name both processes so Perfetto labels them.
+	var cpuNamed, dramNamed bool
+	for _, e := range events {
+		if e.Ph != "M" || e.Name != "process_name" {
+			continue
+		}
+		if e.Pid == timeline.PidCPU {
+			cpuNamed = true
+		}
+		if e.Pid >= timeline.PidDRAMBase {
+			dramNamed = true
+		}
+	}
+	if !cpuNamed || !dramNamed {
+		t.Errorf("missing process_name metadata: cpu=%t dram=%t", cpuNamed, dramNamed)
+	}
+}
+
+// TestTimelineDeterministic pins byte-identical timelines across two
+// identically-seeded runs: the trace is a pure function of the
+// simulation, with no wall-clock or map-order leakage.
+func TestTimelineDeterministic(t *testing.T) {
+	a := runTimeline(t)
+	b := runTimeline(t)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("timelines differ across identical runs: %d vs %d bytes", len(a), len(b))
+	}
+}
