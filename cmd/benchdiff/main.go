@@ -1,0 +1,190 @@
+// Command benchdiff compares two perf-baseline files written by
+// `experiments -bench-json` and exits non-zero when the candidate
+// regresses past the thresholds. It is the enforcement half of the
+// repo's perf trajectory: BENCH_baseline.json records where the event
+// engine is, benchdiff refuses to let a change silently give it back.
+//
+// Usage:
+//
+//	benchdiff [flags] BASELINE.json CANDIDATE.json
+//
+// Checks, in order of trust:
+//
+//   - engine events/sec: the hot-path microbenchmark. A drop of more
+//     than -events-threshold (default 10%) fails. This is the primary
+//     gate. When both files carry ref_ops_per_sec (the code-independent
+//     calibration loop `experiments -bench-json` measures alongside the
+//     engine), the comparison is on the engine/reference ratio, so
+//     host clock-speed drift between the two recordings cancels out;
+//     otherwise it falls back to raw events/sec.
+//   - engine allocs/event: any growth beyond rounding fails. The hot
+//     path is allocation-free and must stay that way.
+//   - per-target wall-clock: matched by target name, with the looser
+//     -wall-threshold (default 35%) because end-to-end wall time
+//     absorbs scheduler and machine noise the microbenchmark does not.
+//     -wall-threshold 0 disables the wall-clock check entirely.
+//
+// Both files must come from the same machine to mean anything; the
+// comparison is a ratio, not an absolute standard. CI benches the base
+// and head revisions back-to-back on one runner for exactly this
+// reason (see .github/workflows/ci.yml), and `make bench-compare` does
+// the local equivalent against the committed baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// benchFile mirrors the JSON written by cmd/experiments -bench-json.
+// Unknown fields are ignored so the two commands can evolve a field
+// apart without breaking old baselines.
+type benchFile struct {
+	Parallelism int    `json:"parallelism"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	Scale       uint64 `json:"scale"`
+	Engine      struct {
+		AllocsPerEvent float64 `json:"allocs_per_event"`
+		EventsPerSec   float64 `json:"events_per_sec"`
+		RefOpsPerSec   float64 `json:"ref_ops_per_sec"`
+	} `json:"engine"`
+	Targets []struct {
+		Target string  `json:"target"`
+		WallMS float64 `json:"wall_ms"`
+	} `json:"targets"`
+}
+
+func main() {
+	var (
+		eventsThreshold = flag.Float64("events-threshold", 0.10, "fail when engine events/sec drops by more than this fraction")
+		wallThreshold   = flag.Float64("wall-threshold", 0.35, "fail when a target's wall-clock grows by more than this fraction (0 = skip wall-clock checks)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [flags] BASELINE.json CANDIDATE.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cand, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	// The numbers are only comparable on matched settings; a mismatch is
+	// a usage error, not a regression.
+	if base.Scale != cand.Scale || base.Parallelism != cand.Parallelism {
+		fatal(fmt.Errorf("baselines are not comparable: baseline scale=%d parallelism=%d, candidate scale=%d parallelism=%d",
+			base.Scale, base.Parallelism, cand.Scale, cand.Parallelism))
+	}
+	if base.GOMAXPROCS != cand.GOMAXPROCS {
+		fmt.Printf("note: GOMAXPROCS differs (baseline %d, candidate %d); wall-clock comparison is suspect\n",
+			base.GOMAXPROCS, cand.GOMAXPROCS)
+	}
+
+	failed := 0
+
+	// Engine throughput: the gate that matters. Normalize by the
+	// reference loop when both recordings have one — the ratio is
+	// invariant to host clock-speed drift between the recordings.
+	bEv, cEv := base.Engine.EventsPerSec, cand.Engine.EventsPerSec
+	unit := "events/sec"
+	if base.Engine.RefOpsPerSec > 0 && cand.Engine.RefOpsPerSec > 0 {
+		bEv /= base.Engine.RefOpsPerSec
+		cEv /= cand.Engine.RefOpsPerSec
+		unit = "events/refop (normalized)"
+	}
+	verdict := pass
+	if bEv > 0 && cEv < bEv*(1-*eventsThreshold) {
+		verdict = fail
+		failed++
+	}
+	fmt.Printf("engine %-25s %10.4g -> %10.4g  (%+6.1f%%, threshold -%.0f%%)  %s\n",
+		unit, bEv, cEv, delta(bEv, cEv), *eventsThreshold*100, verdict)
+	if unit != "events/sec" {
+		fmt.Printf("       raw events/sec         %10.4g -> %10.4g  (%+6.1f%%, informational)\n",
+			base.Engine.EventsPerSec, cand.Engine.EventsPerSec, delta(base.Engine.EventsPerSec, cand.Engine.EventsPerSec))
+	}
+
+	// Allocations: zero is the contract; allow only float rounding.
+	bAl, cAl := base.Engine.AllocsPerEvent, cand.Engine.AllocsPerEvent
+	verdict = pass
+	if cAl > bAl+0.01 {
+		verdict = fail
+		failed++
+	}
+	fmt.Printf("engine allocs/event %14.3f -> %14.3f  (must not grow)                %s\n", bAl, cAl, verdict)
+
+	// Wall-clock per target, matched by name. Targets present on only
+	// one side are reported but never fail the diff — figure sets drift
+	// across revisions and that is not a perf regression.
+	baseWall := map[string]float64{}
+	for _, t := range base.Targets {
+		baseWall[t.Target] = t.WallMS
+	}
+	for _, t := range cand.Targets {
+		bMS, ok := baseWall[t.Target]
+		if !ok {
+			fmt.Printf("target %-12s  (new, no baseline)          %10.0f ms\n", t.Target, t.WallMS)
+			continue
+		}
+		delete(baseWall, t.Target)
+		verdict = pass
+		if *wallThreshold > 0 && bMS > 0 && t.WallMS > bMS*(1+*wallThreshold) {
+			verdict = fail
+			failed++
+		}
+		fmt.Printf("target %-12s %11.0f ms -> %11.0f ms  (%+6.1f%%, threshold +%.0f%%)  %s\n",
+			t.Target, bMS, t.WallMS, delta(bMS, t.WallMS), *wallThreshold*100, verdict)
+	}
+	for name := range baseWall {
+		fmt.Printf("target %-12s  (dropped from candidate)\n", name)
+	}
+
+	if failed > 0 {
+		fmt.Printf("benchdiff: %d regression(s) past threshold\n", failed)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no regressions past threshold")
+}
+
+const (
+	pass = "ok"
+	fail = "REGRESSION"
+)
+
+func delta(base, cand float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cand - base) / base * 100
+}
+
+func load(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Engine.EventsPerSec == 0 && len(f.Targets) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark data (wrong file?)", path)
+	}
+	return &f, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(1)
+}

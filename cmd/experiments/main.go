@@ -6,7 +6,14 @@
 //
 // With no arguments it runs everything at the default fidelity
 // (scale 64, full footprints, all ten mixes). -quick switches to a fast
-// preset for smoke runs. -j bounds the worker pool that runs a sweep's
+// preset for smoke runs. -mode=approx answers sweep cells from the
+// analytical model instead of the event-driven engine — a whole figure
+// sweep in milliseconds, at the model's documented error bound. It is
+// meant for the fig3/fig10/fig11/fig13 grids: cells using uncalibrated
+// bundles (FGR, adaptive, OOO) or fig15's scenario mixes quarantine
+// with a clear error, fig4's custom bank-mask cells always run exact,
+// and energy/OS-counter breakdowns (fig5, tables) are zero in
+// analytical reports. -j bounds the worker pool that runs a sweep's
 // independent simulation cells; results are identical at any -j, only
 // wall-clock time changes. -bench-json additionally records per-figure
 // wall-clock and event-engine microbenchmark numbers to a JSON file so
@@ -48,6 +55,7 @@ func main() {
 	var (
 		version   = flag.Bool("version", false, "print version and exit")
 		quick     = flag.Bool("quick", false, "fast preset: larger time scale, fewer mixes, scaled footprints")
+		mode      = flag.String("mode", "exact", "simulation tier for sweep cells: exact (event-driven) or approx (analytical model)")
 		scale     = flag.Uint64("scale", 0, "override time-scale factor (0 = preset)")
 		mixes     = flag.String("mixes", "", "comma-separated mix subset, e.g. WL-1,WL-6 (empty = preset)")
 		seed      = flag.Uint64("seed", 1, "random seed")
@@ -88,6 +96,7 @@ func main() {
 		p.MeasureWindows = *windows
 	}
 	p.Seed = *seed
+	p.Mode = *mode
 	p.Verbose = *verbose
 	p.Parallelism = *jobs
 	p.FailFast = *failfast
@@ -217,6 +226,12 @@ type benchFile struct {
 type engineBench struct {
 	AllocsPerEvent float64 `json:"allocs_per_event"`
 	EventsPerSec   float64 `json:"events_per_sec"`
+	// RefOpsPerSec is a fixed pure-integer reference loop measured
+	// interleaved with the engine passes. Its speed depends only on the
+	// machine (and its current clock), never on this repo's code, so
+	// benchdiff compares EventsPerSec/RefOpsPerSec ratios — frequency
+	// scaling and host drift between two recordings cancel out.
+	RefOpsPerSec float64 `json:"ref_ops_per_sec"`
 }
 
 func newBenchRecorder(path string, p harness.Params) *benchRecorder {
@@ -255,26 +270,63 @@ func (b *benchRecorder) write() error {
 // measureEngine hand-rolls the BenchmarkEngineScheduleStep measurement
 // (allocations and throughput of the event-heap hot path) without the
 // testing package, so the CLI can embed it in the baseline file.
+//
+// Two defenses against a noisy host, because this number gates merges:
+// each quantity is the best of several passes (interference only ever
+// slows a loop down, so max-of-N estimates the machine's true rate),
+// and a code-independent reference loop is measured interleaved with
+// the engine passes so both see the same clock-frequency environment —
+// benchdiff compares the engine/reference ratio, in which host drift
+// between recordings cancels.
 func measureEngine() engineBench {
-	const warm, n = 128, 2_000_000
+	const warm, n, passes = 128, 2_000_000, 5
 	e := sim.NewEngine()
 	e.Reserve(warm * 2)
 	fn := func() {}
 	for i := 0; i < warm; i++ {
 		e.Schedule(sim.Time(i%31)+1, fn)
 	}
-	var m0, m1 runtime.MemStats
-	runtime.GC()
-	runtime.ReadMemStats(&m0)
+	var best engineBench
+	for p := 0; p < passes; p++ {
+		if ref := measureRef(); ref > best.RefOpsPerSec {
+			best.RefOpsPerSec = ref
+		}
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			e.Schedule(sim.Time(i%31)+1, fn)
+			e.Step()
+		}
+		wall := time.Since(t0)
+		runtime.ReadMemStats(&m1)
+		if evPerSec := float64(n) / wall.Seconds(); evPerSec > best.EventsPerSec {
+			best.EventsPerSec = evPerSec
+			best.AllocsPerEvent = float64(m1.Mallocs-m0.Mallocs) / float64(n)
+		}
+	}
+	return best
+}
+
+// refSink keeps the reference loop's result observable so the compiler
+// cannot delete the loop.
+var refSink uint64
+
+// measureRef times a fixed xorshift loop: pure integer work, no memory
+// traffic, identical in every revision of this repo. It is the
+// denominator that makes engine throughput comparable across
+// recordings taken at different host clock speeds.
+func measureRef() float64 {
+	const n = 20_000_000
+	x := uint64(0x9e3779b97f4a7c15)
 	t0 := time.Now()
 	for i := 0; i < n; i++ {
-		e.Schedule(sim.Time(i%31)+1, fn)
-		e.Step()
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
 	}
 	wall := time.Since(t0)
-	runtime.ReadMemStats(&m1)
-	return engineBench{
-		AllocsPerEvent: float64(m1.Mallocs-m0.Mallocs) / float64(n),
-		EventsPerSec:   float64(n) / wall.Seconds(),
-	}
+	refSink = x
+	return float64(n) / wall.Seconds()
 }

@@ -10,6 +10,7 @@
 //	refsim -mix WL-6 -density 32 -codesign -v
 //	refsim -mix WL-1,WL-5,WL-6 -codesign -j 4
 //	refsim -bench mcf,mcf,povray,povray -policy perbank -temp 95
+//	refsim -mix WL-6 -density 24 -policy perbank -mode=approx
 //
 // A failing run is quarantined (reported, the other mixes still
 // complete, exit 3) unless -failfast is given. -metrics FILE writes the
@@ -51,6 +52,7 @@ func main() {
 		measure  = flag.Int("measure", 2, "measured retention windows")
 		fpScale  = flag.Float64("footprint-scale", 1.0, "footprint multiplier")
 		seed     = flag.Uint64("seed", 1, "random seed")
+		mode     = flag.String("mode", "exact", "simulation tier: exact (event-driven engine) or approx (analytical model: instant, calibrated bundles and Table 2 mixes only)")
 		jobs     = flag.Int("j", 0, "parallel runs when several mixes are given (0 = all CPUs)")
 
 		failfast    = flag.Bool("failfast", false, "abort on the first failed run instead of quarantining it")
@@ -69,6 +71,16 @@ func main() {
 
 	if *resume && *journalPath == "" {
 		fatal(errors.New("-resume requires -journal FILE"))
+	}
+	switch *mode {
+	case "exact":
+	case "approx":
+		// The analytical model has no live system to observe.
+		if *metricsPath != "" || *tlPath != "" {
+			fatal(errors.New("-mode=approx has no event loop: -metrics and -timeline require -mode=exact"))
+		}
+	default:
+		fatal(fmt.Errorf("unknown -mode %q (want exact or approx)", *mode))
 	}
 
 	mixes, err := resolveMixes(*mixNames, *benchCSV)
@@ -91,8 +103,10 @@ func main() {
 	// a stale journal from a different configuration is never resumed.
 	var jnl *journal.Journal
 	if *journalPath != "" {
-		fp := fmt.Sprintf("v3 density=%d policy=%s codesign=%t hot=%t scale=%d warm=%d meas=%d fp=%g seed=%d bench=%q",
-			*density, *policy, *codesign, *hot, *scale, *warmup, *measure, *fpScale, *seed, *benchCSV)
+		// v4: the mode knob landed; approx and exact runs must never
+		// satisfy each other's -resume.
+		fp := fmt.Sprintf("v4 mode=%s density=%d policy=%s codesign=%t hot=%t scale=%d warm=%d meas=%d fp=%g seed=%d bench=%q",
+			*mode, *density, *policy, *codesign, *hot, *scale, *warmup, *measure, *fpScale, *seed, *benchCSV)
 		jnl, err = journal.Open(*journalPath, fp)
 		if err != nil {
 			fatal(err)
@@ -121,6 +135,9 @@ func main() {
 					if jnl.Lookup(key(i), &rep) {
 						return &rep, nil
 					}
+				}
+				if *mode == "approx" {
+					return refsched.PredictApprox(cfg, mixes[i])
 				}
 				sys, err := refsched.NewSystemWithOptions(cfg, mixes[i], refsched.Options{FootprintScale: *fpScale})
 				if err != nil {

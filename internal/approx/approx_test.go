@@ -1,0 +1,149 @@
+package approx
+
+import (
+	"math"
+	"testing"
+
+	"refsched/internal/config"
+	"refsched/internal/stats"
+	"refsched/internal/workload"
+)
+
+// cfgFor builds a config for one (density, bundle, highTemp) cell the
+// way the harness bundles do, touching only the knobs Predict reads.
+func cfgFor(d config.Density, bundle string, highTemp bool) config.System {
+	cfg := config.Default(d, 256)
+	switch bundle {
+	case "norefresh":
+		cfg.Refresh.Policy = config.RefreshNone
+	case "allbank":
+		cfg.Refresh.Policy = config.RefreshAllBank
+	case "perbank":
+		cfg.Refresh.Policy = config.RefreshPerBankRR
+	case "codesign":
+		cfg.Refresh.Policy = config.RefreshPerBankSeq
+		cfg.OS.RefreshAware = true
+	}
+	if highTemp {
+		cfg = config.HighTemp(cfg)
+	}
+	return cfg
+}
+
+func mixByName(t *testing.T, name string) workload.Mix {
+	t.Helper()
+	for _, m := range workload.Table2() {
+		if m.Name == name {
+			return m
+		}
+	}
+	t.Fatalf("no mix %q", name)
+	return workload.Mix{}
+}
+
+// TestPredictExactAtAnchors pins the model's defining property: at the
+// calibration anchor densities, Predict reproduces the stored exact
+// observations identically.
+func TestPredictExactAtAnchors(t *testing.T) {
+	mix := mixByName(t, "WL-1")
+	anchors := map[config.Density]func(CellAnchors) CellTraits{
+		builtinCalibration.Params.LoDensity:  func(a CellAnchors) CellTraits { return a.Lo },
+		builtinCalibration.Params.MidDensity: func(a CellAnchors) CellTraits { return a.Mid },
+		builtinCalibration.Params.RefDensity: func(a CellAnchors) CellTraits { return a.Ref },
+	}
+	for d, pick := range anchors {
+		for _, bundle := range Bundles {
+			rep, err := Predict(cfgFor(d, bundle, false), mix)
+			if err != nil {
+				t.Fatalf("%s@%s: %v", bundle, d, err)
+			}
+			want := pick(builtinCalibration.Cells[Key("WL-1", 64, bundle)])
+			if rep.RefreshStalledFrac != want.StallFrac {
+				t.Errorf("%s@%s: stall frac %v, want anchor %v", bundle, d, rep.RefreshStalledFrac, want.StallFrac)
+			}
+			if rep.AvgMemLatency != want.AvgLat {
+				t.Errorf("%s@%s: avg lat %v, want anchor %v", bundle, d, rep.AvgMemLatency, want.AvgLat)
+			}
+			if got, want := rep.HarmonicIPC, stats.HarmonicMean(want.TaskIPC); math.Abs(got-want) > 1e-12 {
+				t.Errorf("%s@%s: harmonic IPC %v, want %v", bundle, d, got, want)
+			}
+			if rep.Events != 0 {
+				t.Errorf("%s@%s: analytical report claims %d events", bundle, d, rep.Events)
+			}
+		}
+	}
+}
+
+// TestPredictBetweenNearestAnchors: each segment's power law is
+// monotone in s, so an interpolated density (24 Gb) must land between
+// its two bracketing anchors (16 Gb and 32 Gb).
+func TestPredictBetweenNearestAnchors(t *testing.T) {
+	mix := mixByName(t, "WL-5")
+	a := builtinCalibration.Cells[Key("WL-5", 64, "allbank")]
+	lo, hi := a.Mid.StallFrac, a.Ref.StallFrac
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	rep, err := Predict(cfgFor(config.Density24Gb, "allbank", false), mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RefreshStalledFrac < lo || rep.RefreshStalledFrac > hi {
+		t.Errorf("24Gb stall frac %v outside bracketing anchors [%v, %v]", rep.RefreshStalledFrac, lo, hi)
+	}
+}
+
+// TestPredictRejectsUnsupportedPolicy: policies outside the calibrated
+// bundles must error, not silently extrapolate.
+func TestPredictRejectsUnsupportedPolicy(t *testing.T) {
+	mix := mixByName(t, "WL-1")
+	cfg := cfgFor(config.Density32Gb, "allbank", false)
+	cfg.Refresh.Policy = config.RefreshFGR2x
+	if _, err := Predict(cfg, mix); err == nil {
+		t.Fatal("FGR2x accepted by the analytical model")
+	}
+	cfg = cfgFor(config.Density32Gb, "codesign", false)
+	cfg.OS.RefreshAware = false
+	if _, err := Predict(cfg, mix); err == nil {
+		t.Fatal("perbankseq without refresh-aware OS accepted")
+	}
+}
+
+// TestDutyGroundsCalibration: the closed-form duty cycle and the
+// calibrated all-bank stall fractions agree to within an order of
+// magnitude — the sanity link between the first-principles model and
+// the measured traits.
+func TestDutyGroundsCalibration(t *testing.T) {
+	for _, mixName := range []string{"WL-1", "WL-5", "WL-8"} {
+		cfg := cfgFor(config.Density32Gb, "allbank", false)
+		duty := Duty(&cfg, "allbank")
+		if duty <= 0 || duty >= 1 {
+			t.Fatalf("allbank duty = %v", duty)
+		}
+		sf := builtinCalibration.Cells[Key(mixName, 64, "allbank")].Ref.StallFrac
+		if ratio := sf / duty; ratio < 0.05 || ratio > 20 {
+			t.Errorf("%s: stall frac %v vs duty %v (ratio %v) — calibration no longer tracks duty cycle",
+				mixName, sf, duty, ratio)
+		}
+	}
+}
+
+// TestInterp exercises the two interpolation regimes directly.
+func TestInterp(t *testing.T) {
+	sLo := 350.0 / 890.0
+	// Exact power law m = 2·s² is recovered at any s.
+	mRef, mLo := 2.0, 2.0*sLo*sLo
+	for _, s := range []float64{sLo, 530.0 / 890.0, 710.0 / 890.0, 1} {
+		if got, want := interp(mLo, mRef, s, sLo), 2.0*s*s; math.Abs(got-want) > 1e-12 {
+			t.Errorf("power law at s=%v: %v, want %v", s, got, want)
+		}
+	}
+	// A zero anchor forces the linear fallback and clamps at zero.
+	if got := interp(0, 1, sLo, sLo); got != 0 {
+		t.Errorf("lo anchor not reproduced: %v", got)
+	}
+	mid := interp(0, 1, 0.7, sLo)
+	if mid <= 0 || mid >= 1 {
+		t.Errorf("linear fallback out of range: %v", mid)
+	}
+}

@@ -283,6 +283,11 @@ func (s *System) TRFCpb() uint64 {
 // TREFIab returns the all-bank refresh interval (7.8 µs) in cycles.
 func (s *System) TREFIab() uint64 { return s.Cycles(7800) }
 
+// TRFCabNS returns the raw all-bank refresh cycle time in nanoseconds
+// for a density — the one density-dependent refresh timing parameter.
+// Unknown densities return 0.
+func TRFCabNS(d Density) float64 { return densityTable[d].tRFCabNS }
+
 // Validate reports configuration inconsistencies.
 func (s *System) Validate() error {
 	switch {

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"refsched/internal/config"
+	"refsched/internal/workload"
+)
+
+// runChannels builds a multi-channel system and runs a short measured
+// window, returning the report serialized to JSON (the byte format the
+// golden figure tests ultimately consume).
+func runChannels(t *testing.T, channels int, parallel bool) []byte {
+	t.Helper()
+	cfg := config.Default(config.Density32Gb, 256)
+	cfg.Mem.Channels = channels
+	cfg.Seed = 7
+	mix := workload.Table2()[0]
+	sys, err := Build(cfg, mix, Options{FootprintScale: 0.02, ChannelParallel: parallel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Long enough to cross many refresh intervals and several quanta.
+	rep, err := sys.Run(50_000, 400_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestChannelParallelByteIdentical is the end-to-end determinism gate
+// for opt-in channel parallelism: the full report of a multi-channel
+// run must be byte-identical with and without ChannelParallel. Run
+// under -race (both make race and the make ci gate run it) this also
+// validates the synchronization of the parallel batches.
+func TestChannelParallelByteIdentical(t *testing.T) {
+	for _, channels := range []int{2, 4} {
+		serial := runChannels(t, channels, false)
+		par := runChannels(t, channels, true)
+		if string(serial) != string(par) {
+			t.Fatalf("channels=%d: parallel report diverged from serial\nserial: %s\nparallel: %s",
+				channels, serial, par)
+		}
+	}
+}
+
+// TestChannelParallelSingleChannelNoop pins that enabling parallelism
+// on the default single-channel config changes nothing.
+func TestChannelParallelSingleChannelNoop(t *testing.T) {
+	serial := runChannels(t, 1, false)
+	par := runChannels(t, 1, true)
+	if string(serial) != string(par) {
+		t.Fatal("single-channel run changed under ChannelParallel")
+	}
+}

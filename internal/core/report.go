@@ -78,7 +78,7 @@ type Report struct {
 
 	// OS aggregates (cumulative over the whole run, including warmup,
 	// as the paper's OS-side counters are).
-	SchedStats     sched.Stats          `json:"sched_stats"`
+	SchedStats sched.Stats `json:"sched_stats"`
 	// SchedSkips is the distribution of consecutive candidates skipped
 	// per pick_next_task call (unit-width buckets); mass at or beyond
 	// η is the fallback regime. Cumulative over the whole run, like

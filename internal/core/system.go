@@ -32,6 +32,14 @@ type Options struct {
 	FootprintScale float64
 	// Seed overrides cfg.Seed when non-zero.
 	Seed uint64
+	// ChannelParallel opts into executing same-cycle memory-controller
+	// events of different channels on worker goroutines. Output is
+	// byte-identical to serial execution (see internal/sim's parallel
+	// determinism notes); only wall-clock changes. A no-op for
+	// single-channel configs, and disabled automatically when a trace
+	// or timeline recorder is attached (those observers are shared
+	// mutable state on the controller's accept path).
+	ChannelParallel bool
 }
 
 // System is one fully wired simulated machine executing a workload mix.
@@ -67,6 +75,9 @@ func Build(cfg config.System, mix workload.Mix, opt Options) (*System, error) {
 	}
 
 	s := &System{Cfg: cfg, Eng: sim.NewEngine(), Mix: mix}
+	if opt.ChannelParallel {
+		s.Eng.EnableParallel(cfg.Mem.Channels) // no-op unless Channels >= 2
+	}
 	// Pre-size the event queues for the steady-state population: each
 	// core keeps up to MLP misses in flight, each controller schedules
 	// per-queue-entry work, plus refresh/scheduler housekeeping.
@@ -97,7 +108,9 @@ func Build(cfg config.System, mix workload.Mix, opt Options) (*System, error) {
 			planner = p
 		}
 		s.Chans = append(s.Chans, channel)
-		s.MCs = append(s.MCs, mc.New(s.Eng, channel, cfg.Mem, pol))
+		// Domain ch+1 tags the controller's internal events with its
+		// channel affinity (inert unless ChannelParallel is set).
+		s.MCs = append(s.MCs, mc.New(s.Eng.Domain(ch+1), channel, cfg.Mem, pol))
 	}
 
 	// Cores with private cache stacks.
@@ -206,6 +219,9 @@ func (s *System) AttachTrace(w io.Writer) (*trace.Recorder, error) {
 	if s.started {
 		return nil, fmt.Errorf("core: cannot attach a trace after Run")
 	}
+	// The tracer is shared mutable state on every controller's accept
+	// path; fall back to serial execution.
+	s.Eng.Close()
 	rec := trace.NewRecorder(w)
 	for _, c := range s.MCs {
 		c.SetTracer(func(cycle, addr uint64, write bool, task int) {
@@ -226,6 +242,9 @@ func (s *System) AttachTimeline(w io.Writer) (*timeline.Recorder, error) {
 	if s.started {
 		return nil, fmt.Errorf("core: cannot attach a timeline after Run")
 	}
+	// The recorder is shared mutable state on the controllers' refresh
+	// and stall paths; fall back to serial execution.
+	s.Eng.Close()
 	rec := timeline.NewRecorder(w, 0)
 	rec.SetProcessName(timeline.PidCPU, "cpu")
 	for _, c := range s.Cores {
@@ -276,6 +295,7 @@ func (s *System) Run(warmup, measure uint64) (rep *Report, err error) {
 		return nil, fmt.Errorf("core: system already run")
 	}
 	s.started = true
+	defer s.Eng.Close() // release parallel workers, if any
 	defer func() {
 		if p := recover(); p != nil {
 			f, ok := p.(sim.Fault)

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"refsched/internal/approx"
 	"refsched/internal/chaos"
 	"refsched/internal/config"
 	"refsched/internal/core"
@@ -40,6 +41,14 @@ type Params struct {
 	SweepMixes []string
 	// Seed drives all random streams.
 	Seed uint64
+	// Mode selects the simulation tier every cell runs on. "" and
+	// ModeExact run the full event-driven engine; ModeApprox answers
+	// from the internal/approx analytical model (microseconds per cell,
+	// no event loop) — covered bundles only, and exact only at the
+	// model's calibration anchors; see that package for error bounds.
+	// Figures whose cells bypass the bundle pipeline (fig4's custom
+	// bank-mask cells) always run exact.
+	Mode string
 	// Verbose prints each run's one-line summary as it completes.
 	Verbose bool
 	// Parallelism bounds the worker pool that runs a sweep's
@@ -91,6 +100,22 @@ type CellRunner func(ctx context.Context, figID string, jobs []runner.Job[*core.
 // DefaultRetries is the transient-error retry budget used when
 // Params.Retries is zero.
 const DefaultRetries = 2
+
+// Simulation tiers for Params.Mode.
+const (
+	// ModeExact runs the full event-driven engine (the default).
+	ModeExact = "exact"
+	// ModeApprox answers each cell from the analytical model.
+	ModeApprox = "approx"
+)
+
+// mode normalizes the Mode knob ("" means exact).
+func (p Params) mode() string {
+	if p.Mode == "" {
+		return ModeExact
+	}
+	return p.Mode
+}
 
 // retries resolves the Retries knob (0 = default, negative = off).
 func (p Params) retries() int {
@@ -230,6 +255,17 @@ func (p Params) configFor(d config.Density, b bundle, highTemp bool) config.Syst
 // are emitted by the sweep collector (see sweep.go), not here, so that
 // parallel workers never interleave output.
 func (p Params) run(cfg config.System, mix workload.Mix) (*core.Report, error) {
+	switch p.Mode {
+	case "", ModeExact:
+	case ModeApprox:
+		rep, err := approx.Predict(cfg, mix)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s/%s: %w", mix.Name, cfg.Mem.Density, cfg.Refresh.Policy, err)
+		}
+		return rep, nil
+	default:
+		return nil, fmt.Errorf("harness: unknown mode %q (want %q or %q)", p.Mode, ModeExact, ModeApprox)
+	}
 	sys, err := core.Build(cfg, mix, core.Options{FootprintScale: p.FootprintScale})
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s/%s: %w", mix.Name, cfg.Mem.Density, cfg.Refresh.Policy, err)

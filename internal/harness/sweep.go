@@ -49,8 +49,11 @@ func (p Params) Fingerprint() string {
 	// journals (PascalCase keys) must not be resumed.
 	// v3: Report gained sched_skips_per_pick; v2 journal entries would
 	// resume with the histogram silently empty.
-	return fmt.Sprintf("v3 scale=%d fp=%g warm=%d meas=%d seed=%d",
-		p.Scale, p.FootprintScale, p.WarmupWindows, p.MeasureWindows, p.Seed)
+	// v4: the Mode knob landed; an approx cell must never satisfy a
+	// resumed exact sweep (or vice versa), so the tier is part of the
+	// fingerprint.
+	return fmt.Sprintf("v4 mode=%s scale=%d fp=%g warm=%d meas=%d seed=%d",
+		p.mode(), p.Scale, p.FootprintScale, p.WarmupWindows, p.MeasureWindows, p.Seed)
 }
 
 // ctx returns the sweep's cancellation context.

@@ -23,8 +23,17 @@ const starvationAge = 4000
 const maxBypasses = 8
 
 // Controller is the per-channel memory controller.
+//
+// All controller-internal events (issue re-evaluation, refresh ticks)
+// schedule through a sim.Domain handle, tagging them with the channel's
+// affinity domain: they touch only channel-local state (this struct,
+// its dram.Channel, its stats), so a multi-channel system can opt into
+// executing same-cycle events of different channels in parallel (see
+// sim.Engine.EnableParallel) with byte-identical results. Completion
+// callbacks re-enter the cores and are scheduled through the handle's
+// shared (serial) path.
 type Controller struct {
-	eng     *sim.Engine
+	eng     *sim.Domain
 	ch      *dram.Channel
 	cfg     config.MemConfig
 	policy  refresh.Scheduler
@@ -75,8 +84,10 @@ type Controller struct {
 	PolicyStats refresh.Stats
 }
 
-// New builds a controller for channel ch using the given refresh policy.
-func New(eng *sim.Engine, ch *dram.Channel, cfg config.MemConfig, policy refresh.Scheduler) *Controller {
+// New builds a controller for channel ch using the given refresh
+// policy, scheduling through the given affinity-domain handle
+// (typically eng.Domain(channel+1); see Controller).
+func New(eng *sim.Domain, ch *dram.Channel, cfg config.MemConfig, policy refresh.Scheduler) *Controller {
 	c := &Controller{
 		eng:           eng,
 		ch:            ch,
@@ -388,9 +399,9 @@ func (c *Controller) promptPlan(r *Request, now sim.Time) (dram.AccessPlan, bool
 				if c.tl != nil {
 					c.tl.Emit(timeline.Event{Ph: timeline.PhaseSpan,
 						Ts: uint64(now), Dur: uint64(until - now),
-						Pid:  c.tlPid,
-						Tid:  int32(r.Coord.GlobalBank(c.ch.BanksPerRank)),
-						Name: "stalled-read",
+						Pid:      c.tlPid,
+						Tid:      int32(r.Coord.GlobalBank(c.ch.BanksPerRank)),
+						Name:     "stalled-read",
 						Arg1Name: "task", Arg1: int64(r.TaskID),
 						Arg2Name: "row", Arg2: int64(r.Coord.Row)})
 				}
@@ -464,7 +475,9 @@ func (c *Controller) issue(r *Request, plan dram.AccessPlan, q *[]*Request, idx 
 	*q = append((*q)[:idx], (*q)[idx+1:]...)
 
 	req := r
-	c.eng.ScheduleAt(plan.DataEnd, func() {
+	// Completion re-enters the issuing core (shared state), so it must
+	// run serially even when channel events execute in parallel.
+	c.eng.ScheduleSharedAt(plan.DataEnd, func() {
 		if req.Done != nil {
 			req.Done(req)
 		}

@@ -29,7 +29,7 @@ func newRig(t *testing.T, pol config.RefreshPolicy) *rig {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &rig{eng: eng, ch: ch, mc: New(eng, ch, cfg.Mem, p), tm: tm, cfg: cfg}
+	return &rig{eng: eng, ch: ch, mc: New(eng.Domain(1), ch, cfg.Mem, p), tm: tm, cfg: cfg}
 }
 
 // read submits a read to (rank,bank,row) and returns a *sim.Time that

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"refsched/internal/harness"
@@ -70,6 +71,10 @@ type ParamOverrides struct {
 	Seed           *uint64  `json:"seed,omitempty"`
 	Mixes          []string `json:"mixes,omitempty"`
 	SweepMixes     []string `json:"sweep_mixes,omitempty"`
+	// Mode selects the simulation tier ("exact" or "approx"; see
+	// harness.Params.Mode). Approx results are cached under their own
+	// fingerprint, never satisfying an exact request.
+	Mode *string `json:"mode,omitempty"`
 }
 
 // apply overlays o on base. The daemon-side knobs (parallelism,
@@ -98,6 +103,9 @@ func (o *ParamOverrides) apply(base harness.Params) harness.Params {
 	}
 	if o.SweepMixes != nil {
 		base.SweepMixes = o.SweepMixes
+	}
+	if o.Mode != nil {
+		base.Mode = *o.Mode
 	}
 	return base
 }
@@ -201,6 +209,12 @@ type job struct {
 	tl    *timeline.Recorder
 	reqID string
 
+	// engineEvents accumulates the discrete events executed by the
+	// job's completed cells (core.Report.Events), the numerator of the
+	// per-running-job engine-throughput gauge. Approx-mode cells
+	// contribute zero — the analytical model runs no events.
+	engineEvents atomic.Uint64
+
 	mu         sync.Mutex
 	state      JobState
 	started    time.Time
@@ -274,6 +288,40 @@ func (j *job) setCells(total int) {
 	j.mu.Lock()
 	j.cellsTotal += total
 	j.mu.Unlock()
+}
+
+// throughput reports the job's engine event throughput while it runs:
+// events executed by completed cells over wall time since execution
+// started. ok is false unless the job is mid-run.
+func (j *job) throughput() (t JobThroughput, ok bool) {
+	j.mu.Lock()
+	state, started := j.state, j.started
+	done, total := j.cellsDone, j.cellsTotal
+	j.mu.Unlock()
+	if state != JobRunning || started.IsZero() {
+		return JobThroughput{}, false
+	}
+	secs := time.Since(started).Seconds()
+	if secs <= 0 {
+		return JobThroughput{}, false
+	}
+	ev := j.engineEvents.Load()
+	return JobThroughput{
+		ID: j.id, Figure: j.figure,
+		Events: ev, EventsPerSec: float64(ev) / secs,
+		CellsDone: done, CellsTotal: total,
+	}, true
+}
+
+// JobThroughput is one running job's engine-throughput sample, exposed
+// per job in /statsz and aggregated per figure in /metricsz.
+type JobThroughput struct {
+	ID           string  `json:"id"`
+	Figure       string  `json:"figure"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	CellsDone    int     `json:"cells_done"`
+	CellsTotal   int     `json:"cells_total"`
 }
 
 // cellDone publishes one cell completion (called from the runner's

@@ -30,6 +30,7 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -332,6 +333,18 @@ func (s *Server) figMetrics(figure string) *figureMetrics {
 	})
 	scope.CounterFunc("cells", fm.cells.Load)
 	scope.CounterFunc("sim_events", fm.simEvents.Load)
+	// Live engine throughput: events/sec summed over this figure's
+	// currently running jobs (0 when none are running). The per-job
+	// breakdown is in /statsz's running_jobs.
+	scope.GaugeFunc("engine_events_per_sec", func() float64 {
+		var eps float64
+		for _, t := range s.runningThroughput() {
+			if t.Figure == figure {
+				eps += t.EventsPerSec
+			}
+		}
+		return eps
+	})
 	scope.CounterFunc("reads", fm.reads.Load)
 	scope.CounterFunc("writes", fm.writes.Load)
 	scope.CounterFunc("refresh_commands", fm.refreshCommands.Load)
@@ -437,6 +450,7 @@ func (s *Server) cellRunner(j *job) harness.CellRunner {
 			if rep != nil {
 				fm.cells.Add(1)
 				fm.simEvents.Add(rep.Events)
+				j.engineEvents.Add(rep.Events)
 				fm.reads.Add(rep.Reads)
 				fm.writes.Add(rep.Writes)
 				fm.refreshCommands.Add(rep.RefreshCommands)
@@ -678,6 +692,12 @@ func (s *Server) enqueue(req Request, rid string) (j *job, deduped bool, err err
 		figure = canonicalFigure(req.Figure)
 	}
 	params := req.Params.apply(s.cfg.Params)
+	switch params.Mode {
+	case "", harness.ModeExact, harness.ModeApprox:
+	default:
+		return nil, false, fmt.Errorf("unknown mode %q (want %q or %q)",
+			params.Mode, harness.ModeExact, harness.ModeApprox)
+	}
 	key := requestKey(figure, req.Cell, params)
 
 	s.jobsMu.Lock()
@@ -734,6 +754,26 @@ func (s *Server) getJob(id string) *job {
 	s.jobsMu.Lock()
 	defer s.jobsMu.Unlock()
 	return s.jobs[id]
+}
+
+// runningThroughput samples the engine throughput of every currently
+// running job, ordered by job id. It backs the per-figure
+// engine_events_per_sec gauge and /statsz's running_jobs list.
+func (s *Server) runningThroughput() []JobThroughput {
+	s.jobsMu.Lock()
+	js := make([]*job, 0, len(s.active))
+	for _, j := range s.active {
+		js = append(js, j)
+	}
+	s.jobsMu.Unlock()
+	var out []JobThroughput
+	for _, j := range js {
+		if t, ok := j.throughput(); ok {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
 }
 
 // retryAfterSeconds estimates when queue space should free up: the
@@ -887,6 +927,14 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 // handleFigure is GET /v1/figures/{name}: the synchronous
 // cached-or-computed path. The response body is byte-identical to what
 // cmd/experiments prints for the same target and parameters.
+//
+// ?fidelity=approx switches to the two-tier first-response mode: the
+// figure is answered from the analytical model (milliseconds, served
+// with "X-Fidelity: approx"), and the exact sweep is enqueued in the
+// background at batch priority so a later exact request — or a poll of
+// the job id returned in X-Refsched-Exact-Job — finds it computed and
+// cached. The default (and ?fidelity=exact) serves the exact result
+// with "X-Fidelity: exact".
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	priority := 10 // interactive requests outrank default batch jobs
@@ -898,8 +946,28 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		}
 		priority = p
 	}
+	fidelity := r.URL.Query().Get("fidelity")
+	switch fidelity {
+	case "", harness.ModeExact:
+		fidelity = harness.ModeExact
+	case harness.ModeApprox:
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad fidelity (want exact or approx)"})
+		return
+	}
 	ri := requestInfo(r.Context())
-	j, deduped, err := s.enqueue(Request{Figure: name, Priority: priority}, ri.id)
+	req := Request{Figure: name, Priority: priority}
+	if fidelity == harness.ModeApprox {
+		mode := harness.ModeApprox
+		req.Params = &ParamOverrides{Mode: &mode}
+		// Kick the exact sweep off behind the fast answer. Enqueue
+		// failures (queue full, draining) only cost the warm-up: the
+		// approx response below still succeeds.
+		if ej, _, err := s.enqueue(Request{Figure: name}, ri.id); err == nil {
+			w.Header().Set("X-Refsched-Exact-Job", ej.id)
+		}
+	}
+	j, deduped, err := s.enqueue(req, ri.id)
 	if err != nil {
 		s.writeEnqueueError(w, err)
 		return
@@ -918,6 +986,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	switch state {
 	case JobDone:
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("X-Fidelity", fidelity)
 		if st.CacheHit {
 			w.Header().Set("X-Cache", "hit")
 		} else {
@@ -926,6 +995,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		w.Write(body)
 	case JobQuarantined:
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("X-Fidelity", fidelity)
 		w.Header().Set("X-Refsched-Quarantined", strconv.Itoa(len(st.Quarantined)))
 		w.Write(body)
 	default:
@@ -996,6 +1066,10 @@ type Stats struct {
 	Simulations uint64                  `json:"simulations"`
 	Cache       CacheStats              `json:"cache"`
 	Figures     map[string]LatencyStats `json:"figures"`
+	// RunningJobs samples each mid-run job's engine throughput at
+	// snapshot time (events executed by completed cells over wall time);
+	// empty when the daemon is idle.
+	RunningJobs []JobThroughput `json:"running_jobs,omitempty"`
 }
 
 // MetricsSnapshot reads the daemon's full registry — the same data
@@ -1005,9 +1079,12 @@ func (s *Server) MetricsSnapshot() metrics.Snapshot { return s.reg.Snapshot() }
 // StatsSnapshot collects the live serving metrics (also used directly
 // by tests, bypassing HTTP). It is a projection of one registry
 // snapshot — the /statsz and /metricsz payloads are two renderings of
-// the same read.
+// the same read — plus the ephemeral per-running-job throughput
+// samples, which have no cumulative registry representation.
 func (s *Server) StatsSnapshot() Stats {
-	return projectStats(s.reg.Snapshot())
+	st := projectStats(s.reg.Snapshot())
+	st.RunningJobs = s.runningThroughput()
+	return st
 }
 
 // projectStats shapes a registry snapshot into the /statsz payload.

@@ -1,5 +1,5 @@
 // Package sim provides the discrete-event simulation kernel used by every
-// other subsystem: a global cycle clock, an event heap, and deterministic
+// other subsystem: a global cycle clock, an event queue, and deterministic
 // pseudo-random streams.
 //
 // All simulated time is expressed in CPU cycles (uint64). Components
@@ -8,6 +8,8 @@
 // fully deterministic for a given configuration and seed.
 package sim
 
+import "math/bits"
+
 // Time is a point in simulated time, measured in CPU clock cycles.
 type Time = uint64
 
@@ -15,6 +17,7 @@ type Time = uint64
 type event struct {
 	when Time
 	seq  uint64 // tie-breaker: FIFO among events at the same cycle
+	dom  int32  // affinity domain (0 = shared state, run serially)
 	fn   func()
 }
 
@@ -26,24 +29,69 @@ func eventLess(a, b event) bool {
 	return a.seq < b.seq
 }
 
+// Calendar-queue geometry. DRAM timing events cluster within short
+// horizons — command/burst completions and FR-FCFS re-evaluations land
+// within the prompt window (~600 cycles), per-bank refresh ticks within
+// tREFIab/banks (~1.5k cycles), and refresh-end wakeups within tRFCab
+// (~2.8k cycles at 32 Gb) — so a 4096-cycle ring captures the bulk of
+// the event population in O(1) scheduling instead of O(log n) heap
+// sifts. Millisecond-scale events (quantum ends, all-bank refresh
+// ticks, run-ahead resync of compute-bound cores) overflow to the heap,
+// which stays tiny as a result.
+const (
+	calHorizon = 1 << 12
+	calMask    = calHorizon - 1
+	calWords   = calHorizon / 64
+)
+
+// calNode is one calendar-queue entry: bucket chains are singly-linked
+// lists of arena indices, so scheduling into a bucket is one arena
+// append plus two int32 stores — no per-bucket slice to grow and no
+// allocation once the arena reaches steady-state capacity.
+type calNode struct {
+	ev   event
+	next int32 // arena index of the next node in the same bucket; 0 ends the chain
+}
+
 // Engine is a discrete-event simulator. The zero value is ready to use.
 //
-// Internally events live in two structures: a hand-rolled binary
-// min-heap over a plain []event (monomorphic sift-up/sift-down — no
+// Internally events live in three structures, all monomorphic (no
 // container/heap interface{} boxing, so the hot scheduling path is
-// allocation-free once the slices reach steady-state capacity), and a
-// FIFO of events due at the current cycle. Scheduling at the current
-// time appends to the FIFO directly; when the clock advances, all heap
-// events sharing the earliest timestamp are drained into the FIFO in
-// (when, seq) order. Execution order is therefore exactly the strict
-// (when, seq) order of the original container/heap implementation.
+// allocation-free once the backing stores reach steady-state capacity):
+//
+//   - a FIFO of events due at the current cycle (same-cycle Schedule
+//     calls append here directly);
+//   - a calendar queue — a ring of calHorizon buckets indexed by
+//     (when & calMask), each an arena-backed linked list in seq order,
+//     with a bitmap for O(1) next-nonempty-bucket search — holding every
+//     event due within calHorizon cycles of now;
+//   - a 4-ary min-heap over []event for events at or beyond the horizon
+//     (shallower than a binary heap, and the 4-child minimum scan stays
+//     in one cache line of events).
+//
+// When the clock advances, all events sharing the earliest timestamp are
+// drained into the FIFO by merging the bucket chain and the heap run in
+// seq order. Execution order is therefore exactly the strict (when, seq)
+// order of the original single-heap implementation.
 type Engine struct {
 	now      Time
 	seq      uint64
-	heap     []event // min-heap by (when, seq); invariant: every when > now
 	fifo     []event // events due at exactly now, in seq order
 	fifoHead int     // next unexecuted index into fifo
 	stopped  bool
+
+	// Calendar queue: invariant — every bucketed event has
+	// now < when < now+calHorizon, so a slot maps to a unique timestamp.
+	calHead  [calHorizon]int32
+	calTail  [calHorizon]int32
+	calBits  [calWords]uint64
+	calCount int
+	arena    []calNode // slot 0 is a reserved sentinel (0 = nil link)
+	freeHead int32     // freelist of recycled arena nodes (0 = empty)
+
+	heap []event // 4-ary min-heap by (when, seq); every when > now
+
+	par *parallel // non-nil once EnableParallel has been called
 
 	// Executed counts events processed since construction; useful for
 	// progress reporting and runaway detection in tests.
@@ -57,10 +105,13 @@ func NewEngine() *Engine { return &Engine{} }
 func (e *Engine) Now() Time { return e.now }
 
 // Pending reports the number of scheduled, not-yet-executed events.
-func (e *Engine) Pending() int { return len(e.fifo) - e.fifoHead + len(e.heap) }
+func (e *Engine) Pending() int {
+	return len(e.fifo) - e.fifoHead + e.calCount + len(e.heap)
+}
 
-// Reserve pre-sizes the internal event queues to hold at least n
-// pending events without reallocating, for hot scheduling loops whose
+// Reserve pre-sizes the internal event stores — the heap, the same-cycle
+// FIFO, and the calendar-queue node arena — to hold at least n pending
+// events without reallocating, for hot scheduling loops whose
 // steady-state population is known up front.
 func (e *Engine) Reserve(n int) {
 	if cap(e.heap) < n {
@@ -73,13 +124,19 @@ func (e *Engine) Reserve(n int) {
 		copy(f, e.fifo)
 		e.fifo = f
 	}
+	// +1 for the reserved sentinel slot.
+	if cap(e.arena) < n+1 {
+		a := make([]calNode, len(e.arena), n+1)
+		copy(a, e.arena)
+		e.arena = a
+	}
 }
 
 // Schedule runs fn after delay cycles (possibly zero, meaning "later this
 // cycle", after already-queued same-cycle events).
 func (e *Engine) Schedule(delay Time, fn func()) {
 	if delay == 0 {
-		// Same-cycle fast path: straight to the FIFO, no heap traffic.
+		// Same-cycle fast path: straight to the FIFO, no queue traffic.
 		e.seq++
 		e.fifo = append(e.fifo, event{when: e.now, seq: e.seq, fn: fn})
 		return
@@ -92,24 +149,85 @@ func (e *Engine) Schedule(delay Time, fn func()) {
 // *PastEventError fault, which the core run API converts into a
 // returned error at its boundary (see Fault).
 func (e *Engine) ScheduleAt(t Time, fn func()) {
+	e.schedule(t, 0, fn)
+}
+
+// schedule routes an event to the right store by its distance from now.
+func (e *Engine) schedule(t Time, dom int32, fn func()) {
 	if t < e.now {
 		panic(&PastEventError{T: t, Now: e.now})
 	}
 	e.seq++
-	ev := event{when: t, seq: e.seq, fn: fn}
-	if t == e.now {
+	ev := event{when: t, seq: e.seq, dom: dom, fn: fn}
+	switch {
+	case t == e.now:
 		e.fifo = append(e.fifo, ev)
-		return
+	case t-e.now < calHorizon:
+		e.calPush(ev)
+	default:
+		e.heapPush(ev)
 	}
-	e.push(ev)
 }
 
-// push inserts ev into the heap (sift-up).
-func (e *Engine) push(ev event) {
+// --- calendar queue ---
+
+// calPush appends ev to its bucket chain (seq order is append order,
+// because seq is globally monotone).
+func (e *Engine) calPush(ev event) {
+	if len(e.arena) == 0 {
+		e.arena = append(e.arena, calNode{}) // sentinel
+	}
+	var i int32
+	if e.freeHead != 0 {
+		i = e.freeHead
+		e.freeHead = e.arena[i].next
+		e.arena[i] = calNode{ev: ev}
+	} else {
+		e.arena = append(e.arena, calNode{ev: ev})
+		i = int32(len(e.arena) - 1)
+	}
+	slot := int(ev.when) & calMask
+	if e.calTail[slot] == 0 {
+		e.calHead[slot] = i
+		e.calBits[slot>>6] |= 1 << uint(slot&63)
+	} else {
+		e.arena[e.calTail[slot]].next = i
+	}
+	e.calTail[slot] = i
+	e.calCount++
+}
+
+// nextCalTime returns the earliest bucketed timestamp, scanning the
+// occupancy bitmap from the slot after now (bucketed events are always
+// strictly in the future), wrapping around the ring.
+func (e *Engine) nextCalTime() (Time, bool) {
+	if e.calCount == 0 {
+		return 0, false
+	}
+	start := (int(e.now) + 1) & calMask
+	// First (partial) word: mask off bits below start.
+	w := e.calBits[start>>6] &^ (1<<uint(start&63) - 1)
+	idx := start >> 6
+	for scanned := 0; scanned <= calWords; scanned++ {
+		if w != 0 {
+			slot := idx<<6 + bits.TrailingZeros64(w)
+			delta := (slot - int(e.now)) & calMask
+			return e.now + Time(delta), true
+		}
+		idx = (idx + 1) & (calWords - 1)
+		w = e.calBits[idx]
+	}
+	return 0, false // unreachable while calCount > 0
+}
+
+// --- 4-ary heap ---
+
+// heapPush inserts ev (sift-up).
+func (e *Engine) heapPush(ev event) {
 	h := append(e.heap, ev)
 	i := len(h) - 1
 	for i > 0 {
-		parent := (i - 1) / 2
+		parent := (i - 1) >> 2
 		if !eventLess(h[i], h[parent]) {
 			break
 		}
@@ -119,8 +237,8 @@ func (e *Engine) push(ev event) {
 	e.heap = h
 }
 
-// pop removes and returns the minimum event (sift-down).
-func (e *Engine) pop() event {
+// heapPop removes and returns the minimum event (sift-down).
+func (e *Engine) heapPop() event {
 	h := e.heap
 	top := h[0]
 	n := len(h) - 1
@@ -129,13 +247,15 @@ func (e *Engine) pop() event {
 	h = h[:n]
 	i := 0
 	for {
-		l := 2*i + 1
-		if l >= n {
+		c := i<<2 + 1
+		if c >= n {
 			break
 		}
-		m := l
-		if r := l + 1; r < n && eventLess(h[r], h[l]) {
-			m = r
+		m := c
+		for k := c + 1; k < c+4 && k < n; k++ {
+			if eventLess(h[k], h[m]) {
+				m = k
+			}
 		}
 		if !eventLess(h[m], h[i]) {
 			break
@@ -147,20 +267,58 @@ func (e *Engine) pop() event {
 	return top
 }
 
-// refill advances the clock to the earliest heap timestamp and drains
-// every event due at that cycle into the FIFO, preserving seq order.
-// It reports whether any event became runnable.
+// --- clock advance ---
+
+// nextEventTime returns the timestamp of the earliest non-FIFO event.
+func (e *Engine) nextEventTime() (Time, bool) {
+	t, ok := e.nextCalTime()
+	if len(e.heap) > 0 && (!ok || e.heap[0].when < t) {
+		return e.heap[0].when, true
+	}
+	return t, ok
+}
+
+// drainTo merges every event due exactly at t — the bucket chain at
+// t's slot and the heap's equal-timestamp run, both seq-ascending —
+// into the FIFO in strict seq order. The caller has already set now = t.
+func (e *Engine) drainTo(t Time) {
+	slot := int(t) & calMask
+	i := e.calHead[slot]
+	for i != 0 || (len(e.heap) > 0 && e.heap[0].when == t) {
+		if i != 0 && (len(e.heap) == 0 || e.heap[0].when != t || e.arena[i].ev.seq < e.heap[0].seq) {
+			n := &e.arena[i]
+			e.fifo = append(e.fifo, n.ev)
+			next := n.next
+			// Recycle the node; zero the event so the closure is
+			// released for GC while the node sits on the freelist.
+			n.ev = event{}
+			n.next = e.freeHead
+			e.freeHead = i
+			i = next
+			e.calCount--
+		} else {
+			e.fifo = append(e.fifo, e.heapPop())
+		}
+	}
+	if e.calHead[slot] != 0 {
+		e.calHead[slot] = 0
+		e.calTail[slot] = 0
+		e.calBits[slot>>6] &^= 1 << uint(slot&63)
+	}
+}
+
+// refill advances the clock to the earliest pending timestamp and
+// drains every event due at that cycle into the FIFO, preserving seq
+// order. It reports whether any event became runnable.
 func (e *Engine) refill() bool {
 	e.fifo = e.fifo[:0]
 	e.fifoHead = 0
-	if len(e.heap) == 0 {
+	t, ok := e.nextEventTime()
+	if !ok {
 		return false
 	}
-	t := e.heap[0].when
 	e.now = t
-	for len(e.heap) > 0 && e.heap[0].when == t {
-		e.fifo = append(e.fifo, e.pop())
-	}
+	e.drainTo(t)
 	return true
 }
 
@@ -169,10 +327,7 @@ func (e *Engine) nextTime() (Time, bool) {
 	if e.fifoHead < len(e.fifo) {
 		return e.now, true
 	}
-	if len(e.heap) > 0 {
-		return e.heap[0].when, true
-	}
-	return 0, false
+	return e.nextEventTime()
 }
 
 // Step executes the single earliest pending event and advances the clock
@@ -197,14 +352,43 @@ func (e *Engine) Step() bool {
 
 // RunUntil executes events until the clock would pass t, then sets the
 // clock to exactly t. Events scheduled at exactly t are executed.
+//
+// Unlike Step-driven loops, RunUntil batch-advances: it drains each
+// runnable cycle's FIFO back to back (everything in the FIFO is due
+// exactly now by construction, so no per-event next-time re-check is
+// needed) and only consults the calendar/heap between cycles.
+//
+// If Stop is called from within an event, RunUntil returns after that
+// event without fast-forwarding the clock, leaving the remaining events
+// pending; a subsequent Run/RunUntil resumes exactly where it left off.
 func (e *Engine) RunUntil(t Time) {
 	e.stopped = false
-	for !e.stopped {
-		w, ok := e.nextTime()
-		if !ok || w > t {
-			break
+	if e.now <= t {
+		for {
+			for e.fifoHead < len(e.fifo) {
+				if e.par != nil && e.fifo[e.fifoHead].dom != 0 && e.runParallel() {
+					continue // a domain batch ran; resume the FIFO scan
+				}
+				ev := e.fifo[e.fifoHead]
+				e.fifo[e.fifoHead] = event{} // release the closure for GC
+				e.fifoHead++
+				if e.fifoHead == len(e.fifo) {
+					e.fifo = e.fifo[:0]
+					e.fifoHead = 0
+				}
+				e.Executed++
+				ev.fn()
+				if e.stopped {
+					return
+				}
+			}
+			w, ok := e.nextEventTime()
+			if !ok || w > t {
+				break
+			}
+			e.now = w
+			e.drainTo(w)
 		}
-		e.Step()
 	}
 	if e.now < t {
 		e.now = t

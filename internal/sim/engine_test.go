@@ -137,7 +137,7 @@ func TestEngineSameCycleFastPathOrdering(t *testing.T) {
 	var got []int
 	e.Schedule(10, func() {
 		got = append(got, 1)
-		e.Schedule(0, func() { got = append(got, 3) })     // fast path
+		e.Schedule(0, func() { got = append(got, 3) })         // fast path
 		e.ScheduleAt(e.Now(), func() { got = append(got, 4) }) // fast path via ScheduleAt
 	})
 	e.Schedule(10, func() { got = append(got, 2) }) // same cycle, scheduled earlier

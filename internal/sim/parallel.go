@@ -1,0 +1,296 @@
+package sim
+
+import "sync"
+
+// Per-channel parallelism.
+//
+// Memory-controller events (FR-FCFS issue re-evaluation, per-bank
+// refresh ticks) touch only channel-local state: the controller's own
+// queues, its dram.Channel banks, and its stats. Events at the same
+// cycle from *different* channels therefore commute, and a batch of
+// them can execute on worker goroutines without changing simulation
+// output — provided the schedule calls they make are re-applied in the
+// exact order serial execution would have made them, so that seq
+// numbers (the deterministic tie-breaker) come out identical.
+//
+// The engine implements that as follows. Components with channel
+// affinity schedule through a Domain handle, which tags their events
+// with a nonzero domain id. During RunUntil, a maximal run of
+// consecutive same-cycle events spanning at least two distinct domains
+// is dispatched to per-domain workers (each worker executes its
+// events in batch order). Schedule calls made by those events are not
+// applied immediately: they are staged per domain, keyed by the
+// scheduling event's position in the batch, and after the barrier the
+// main goroutine replays them in position order — exactly the order
+// serial execution would have assigned seq numbers. Everything else
+// (cores, kernel, request-completion callbacks, which touch shared
+// state) stays on domain 0 and runs serially.
+//
+// Output is byte-identical to serial execution; the multi-channel
+// determinism test in engine_parallel_test.go and the race detector
+// enforce this. Parallelism is opt-in (see core.Options) and a no-op
+// for single-channel configurations.
+
+// staged is one Schedule call captured during a parallel batch.
+type staged struct {
+	pos  int32 // position in the batch of the event that made the call
+	dom  int32
+	when Time
+	fn   func()
+}
+
+// parEvent is one event handed to a domain worker.
+type parEvent struct {
+	pos int32
+	fn  func()
+}
+
+// panicRec captures a worker panic for re-raising on the main goroutine.
+type panicRec struct {
+	pos int32
+	val any
+	ok  bool
+}
+
+type parallel struct {
+	ndom   int
+	active bool // a batch is in flight; Domain schedule calls stage
+
+	// All slices are indexed by domain id (slot 0 unused) and are only
+	// touched by that domain's worker while a batch is in flight, so no
+	// locking is needed; the dispatch channel send / WaitGroup wait
+	// provide the happens-before edges.
+	cur     []int32
+	staging [][]staged
+	sIdx    []int
+	groups  [][]parEvent
+	panics  []panicRec
+	work    []chan []parEvent
+
+	wg    sync.WaitGroup
+	start sync.Once
+}
+
+// EnableParallel opts the engine into parallel execution of
+// domain-tagged events for domain ids 1..domains. It is a no-op when
+// domains < 2 (a single domain has nothing to overlap with). Call
+// Close when done with the engine to release the worker goroutines.
+func (e *Engine) EnableParallel(domains int) {
+	if domains < 2 || e.par != nil {
+		return
+	}
+	p := &parallel{
+		ndom:    domains,
+		cur:     make([]int32, domains+1),
+		staging: make([][]staged, domains+1),
+		sIdx:    make([]int, domains+1),
+		groups:  make([][]parEvent, domains+1),
+		panics:  make([]panicRec, domains+1),
+		work:    make([]chan []parEvent, domains+1),
+	}
+	e.par = p
+}
+
+// Close releases the worker goroutines started by EnableParallel, if
+// any. The engine remains usable; subsequent events run serially.
+func (e *Engine) Close() {
+	p := e.par
+	if p == nil {
+		return
+	}
+	e.par = nil
+	p.start.Do(func() {}) // ensure workers are either started or never will be
+	for d := 1; d <= p.ndom; d++ {
+		if p.work[d] != nil {
+			close(p.work[d])
+		}
+	}
+}
+
+// Domain returns a scheduling handle bound to affinity domain id
+// (1-based). Events scheduled through the handle are tagged as
+// touching only that domain's state, making them eligible for parallel
+// execution once EnableParallel has been called; without it the tag is
+// inert and the handle behaves exactly like the engine itself.
+func (e *Engine) Domain(id int) *Domain {
+	return &Domain{eng: e, id: int32(id)}
+}
+
+// Domain schedules events with an affinity tag. See Engine.Domain.
+type Domain struct {
+	eng *Engine
+	id  int32
+}
+
+// Now returns the current simulated time. (The clock is frozen while a
+// parallel batch executes, so this is safe from worker goroutines.)
+func (d *Domain) Now() Time { return d.eng.now }
+
+// Schedule runs fn after delay cycles, tagged with d's domain.
+func (d *Domain) Schedule(delay Time, fn func()) { d.ScheduleAt(d.eng.now+delay, fn) }
+
+// ScheduleAt runs fn at absolute time t, tagged with d's domain. Called
+// from within a parallel batch, the event is staged and applied after
+// the barrier in serial-equivalent order.
+func (d *Domain) ScheduleAt(t Time, fn func()) {
+	e := d.eng
+	if p := e.par; p != nil && p.active {
+		p.staging[d.id] = append(p.staging[d.id],
+			staged{pos: p.cur[d.id], dom: d.id, when: t, fn: fn})
+		return
+	}
+	e.schedule(t, d.id, fn)
+}
+
+// ScheduleShared runs fn after delay cycles as an untagged (domain-0)
+// event — for work that touches state outside d's domain, such as
+// request-completion callbacks into the cores, which must run serially.
+// Unlike calling Engine.Schedule directly (which is NOT safe from
+// within a parallel batch), this stages through the handle.
+func (d *Domain) ScheduleShared(delay Time, fn func()) { d.ScheduleSharedAt(d.eng.now+delay, fn) }
+
+// ScheduleSharedAt is ScheduleShared with an absolute time.
+func (d *Domain) ScheduleSharedAt(t Time, fn func()) {
+	e := d.eng
+	if p := e.par; p != nil && p.active {
+		p.staging[d.id] = append(p.staging[d.id],
+			staged{pos: p.cur[d.id], dom: 0, when: t, fn: fn})
+		return
+	}
+	e.schedule(t, 0, fn)
+}
+
+// spawn lazily starts the per-domain workers on first use, so engines
+// that enable parallelism but never see a multi-domain cycle (or never
+// run) cost nothing.
+func (p *parallel) spawn() {
+	p.start.Do(func() {
+		for d := 1; d <= p.ndom; d++ {
+			p.work[d] = make(chan []parEvent, 1)
+			go p.worker(int32(d), p.work[d])
+		}
+	})
+}
+
+func (p *parallel) worker(dom int32, ch chan []parEvent) {
+	for b := range ch {
+		p.runBatch(dom, b)
+		p.wg.Done()
+	}
+}
+
+// runBatch executes one domain's slice of a batch, recording a panic
+// (with the position it occurred at) instead of crashing the worker.
+func (p *parallel) runBatch(dom int32, b []parEvent) {
+	k := 0
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics[dom] = panicRec{pos: b[k].pos, val: r, ok: true}
+		}
+	}()
+	for ; k < len(b); k++ {
+		p.cur[dom] = b[k].pos
+		b[k].fn()
+	}
+}
+
+// runParallel inspects the FIFO at fifoHead for a maximal run of
+// consecutive domain-tagged events. If the run spans at least two
+// distinct domains it executes the run as a parallel batch and reports
+// true; otherwise it reports false and the caller executes serially.
+func (e *Engine) runParallel() bool {
+	p := e.par
+	f := e.fifo
+	i := e.fifoHead
+	firstDom := f[i].dom
+	multi := false
+	j := i
+	for j < len(f) && f[j].dom != 0 {
+		if f[j].dom != firstDom {
+			multi = true
+		}
+		j++
+	}
+	if !multi {
+		return false
+	}
+	p.spawn()
+
+	// Partition the run by domain, preserving batch order.
+	for d := 1; d <= p.ndom; d++ {
+		p.groups[d] = p.groups[d][:0]
+	}
+	for k := i; k < j; k++ {
+		ev := f[k]
+		f[k] = event{} // release the closure for GC
+		p.groups[ev.dom] = append(p.groups[ev.dom], parEvent{pos: int32(k - i), fn: ev.fn})
+	}
+
+	// Dispatch and barrier.
+	p.active = true
+	for d := 1; d <= p.ndom; d++ {
+		if len(p.groups[d]) > 0 {
+			p.wg.Add(1)
+			p.work[d] <- p.groups[d]
+		}
+	}
+	p.wg.Wait()
+	p.active = false
+
+	e.Executed += uint64(j - i)
+	e.fifoHead = j
+	if e.fifoHead == len(e.fifo) {
+		e.fifo = e.fifo[:0]
+		e.fifoHead = 0
+	}
+
+	// A worker panic aborts the batch: re-raise the positionally first
+	// panic on the main goroutine so sim.Fault handling (recover at the
+	// core run boundary) works exactly as in serial execution.
+	var pan panicRec
+	for d := 1; d <= p.ndom; d++ {
+		if p.panics[d].ok && (!pan.ok || p.panics[d].pos < pan.pos) {
+			pan = p.panics[d]
+		}
+		p.panics[d] = panicRec{}
+	}
+	if pan.ok {
+		for d := 1; d <= p.ndom; d++ {
+			p.staging[d] = p.staging[d][:0]
+		}
+		panic(pan.val)
+	}
+
+	// Replay staged schedule calls in batch-position order — the order
+	// serial execution would have made them — so seq assignment, and
+	// therefore all downstream event ordering, is identical to serial.
+	// (Each domain's staging list is already position-ascending; this is
+	// a k-way merge by position. A position belongs to exactly one
+	// event, hence one domain, so ties cannot occur across lists.)
+	for d := 1; d <= p.ndom; d++ {
+		p.sIdx[d] = 0
+	}
+	for {
+		best := 0
+		for d := 1; d <= p.ndom; d++ {
+			if p.sIdx[d] < len(p.staging[d]) &&
+				(best == 0 || p.staging[d][p.sIdx[d]].pos < p.staging[best][p.sIdx[best]].pos) {
+				best = d
+			}
+		}
+		if best == 0 {
+			break
+		}
+		s := p.staging[best][p.sIdx[best]]
+		p.sIdx[best]++
+		e.schedule(s.when, s.dom, s.fn)
+	}
+	for d := 1; d <= p.ndom; d++ {
+		s := p.staging[d]
+		for k := range s {
+			s[k] = staged{} // release closures for GC
+		}
+		p.staging[d] = s[:0]
+	}
+	return true
+}

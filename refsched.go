@@ -27,6 +27,7 @@ package refsched
 import (
 	"io"
 
+	"refsched/internal/approx"
 	"refsched/internal/config"
 	"refsched/internal/core"
 	"refsched/internal/metrics"
@@ -244,3 +245,16 @@ func (s *System) RunWindows(warmupWindows, measureWindows int) (*Report, error) 
 // two such snapshots; this exposes the full underlying hierarchy
 // (per-bank, per-controller, per-task) for custom analysis.
 func (s *System) MetricsSnapshot() MetricsSnapshot { return s.inner.MetricsSnapshot() }
+
+// PredictApprox answers a run from the analytical fast-path model
+// instead of the event-driven engine: microseconds per call, no System
+// construction. Coverage is the calibrated policy bundles (none,
+// allbank, perbank, and the co-design) over Table 2 mixes at both
+// retention temperatures; other policies or custom mixes return an
+// error. Predictions reproduce the exact engine at the model's
+// calibration anchor densities and carry a validated error bound at
+// interpolated ones — see internal/approx for the model and bounds.
+// Reports have Events == 0, marking them as analytical.
+func PredictApprox(cfg Config, mix Mix) (*Report, error) {
+	return approx.Predict(cfg, mix)
+}
