@@ -6,7 +6,7 @@ GO ?= go
 # out of go.mod so the simulator itself stays dependency-free.
 STATICCHECK = $(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1.1
 
-.PHONY: build test short race bench bench-baseline bench-compare serve ci staticcheck regen-output timeline-demo
+.PHONY: build test short race bench bench-baseline bench-compare serve ci staticcheck regen-output timeline-demo soak soak-short
 
 build:
 	$(GO) build ./...
@@ -51,9 +51,24 @@ ci:
 	$(GO) vet ./...
 	$(MAKE) staticcheck
 	$(GO) test -short ./...
-	$(GO) test -race -timeout 10m ./internal/runner/ ./internal/chaos/ ./internal/journal/ ./internal/sim/ ./internal/service/ ./internal/timeline/
+	$(GO) test -race -timeout 10m ./internal/runner/ ./internal/chaos/ ./internal/journal/ ./internal/sim/ ./internal/service/ ./internal/timeline/ ./cmd/refload/
 	$(GO) test -race -timeout 10m -run 'TestChannelParallel' ./internal/core/
 	$(GO) test -count=1 -run 'TestDaemonSmoke' ./cmd/refschedd/
+
+# The overload/chaos drill (see EXPERIMENTS.md "Soak drill"): refload
+# drives thousands of mixed multi-tenant requests at a small-queue
+# daemon under stall chaos until brownout engages, the daemon is
+# SIGKILLed with acknowledged jobs pending, and a warm restart on the
+# same job WAL must replay every one of them to a terminal state (zero
+# acknowledged-job loss) and answer the reference figure byte-for-byte
+# identically; a final phase proves the stalled-job watchdog kills
+# wedged jobs within its bound. soak-short is the ~1k-request variant
+# scheduled CI runs.
+soak:
+	REFSCHED_SOAK=full $(GO) test -count=1 -timeout 20m -v -run 'TestSoak' ./cmd/refschedd/
+
+soak-short:
+	REFSCHED_SOAK=short $(GO) test -count=1 -timeout 10m -run 'TestSoak' ./cmd/refschedd/
 
 # Write the pair of Perfetto timelines EXPERIMENTS.md walks through:
 # the same mix under rotating per-bank refresh (baseline) and under the

@@ -1,0 +1,368 @@
+// Command refload is the load generator behind `make soak`: it drives a
+// running refschedd with thousands of concurrent mixed requests —
+// single-cell job POSTs (optionally deadlined), exact and approx figure
+// GETs, and periodic /statsz scrapes — from many tenants at once, and
+// reports client-side latency percentiles per request kind plus a final
+// daemon stats snapshot as one JSON summary.
+//
+// It is built to stay up while the daemon does not: transport errors
+// (connection refused mid-restart, reset mid-kill) are counted and
+// retried with backoff rather than aborting the run, which is what lets
+// the soak drill SIGKILL refschedd mid-sweep and keep measuring through
+// the warm restart.
+//
+// With -acked-file every job id the daemon acknowledged (202) is
+// appended to a file, one per line; the soak harness cross-checks that
+// set against the daemon's job WAL to prove the acknowledgement barrier:
+// every acked id must appear as a durable accept record, and every
+// accept without a done record must be replayed to a terminal state
+// after restart.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"refsched/internal/harness"
+	"refsched/internal/stats"
+)
+
+// kinds of request the generator issues; each gets its own histogram.
+const (
+	kindEnqueue = "enqueue"
+	kindFigure  = "figure"
+	kindApprox  = "figure_approx"
+	kindScrape  = "statsz"
+)
+
+// latency histograms: 100 µs buckets up to 60 s, overflow above.
+const (
+	latWidthUS = 100
+	latBuckets = 600_000
+)
+
+// kindStats aggregates one request kind's outcomes.
+type kindStats struct {
+	lat       *stats.Histogram
+	ok        uint64
+	rejected  uint64 // 429: admission, rate, brownout, queue full
+	failed    uint64 // other >= 400
+	transport uint64 // connection-level errors (daemon down/restarting)
+}
+
+// collector is the shared, locked result sink for all workers.
+type collector struct {
+	mu    sync.Mutex
+	kinds map[string]*kindStats
+	acked []string
+	// rejections by structured reason ("rate", "brownout", ...).
+	reasons map[string]uint64
+}
+
+func newCollector() *collector {
+	return &collector{kinds: map[string]*kindStats{}, reasons: map[string]uint64{}}
+}
+
+func (c *collector) kind(name string) *kindStats {
+	k, ok := c.kinds[name]
+	if !ok {
+		k = &kindStats{lat: stats.NewHistogram(latWidthUS, latBuckets)}
+		c.kinds[name] = k
+	}
+	return k
+}
+
+func (c *collector) observe(name string, d time.Duration, status int, transportErr bool, reason string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := c.kind(name)
+	switch {
+	case transportErr:
+		k.transport++
+	case status == http.StatusTooManyRequests:
+		k.rejected++
+		if reason != "" {
+			c.reasons[reason]++
+		}
+	case status >= http.StatusBadRequest:
+		k.failed++
+	default:
+		k.ok++
+		k.lat.Add(uint64(d.Microseconds()))
+	}
+}
+
+func (c *collector) ack(id string) {
+	c.mu.Lock()
+	c.acked = append(c.acked, id)
+	c.mu.Unlock()
+}
+
+// KindSummary is one request kind's reported slice of the summary.
+type KindSummary struct {
+	OK        uint64  `json:"ok"`
+	Rejected  uint64  `json:"rejected"`
+	Failed    uint64  `json:"failed"`
+	Transport uint64  `json:"transport_errors"`
+	P50MS     float64 `json:"p50_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	P999MS    float64 `json:"p999_ms"`
+	MaxMS     float64 `json:"max_ms"`
+}
+
+// Summary is refload's JSON report.
+type Summary struct {
+	DurationS   float64                `json:"duration_s"`
+	Requests    uint64                 `json:"requests"`
+	Acked       int                    `json:"acked_jobs"`
+	Kinds       map[string]KindSummary `json:"kinds"`
+	Rejections  map[string]uint64      `json:"rejections_by_reason"`
+	DaemonStats json.RawMessage        `json:"daemon_stats,omitempty"`
+}
+
+func (c *collector) summarize(elapsed time.Duration, daemonStats []byte) Summary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Summary{
+		DurationS:  elapsed.Seconds(),
+		Acked:      len(c.acked),
+		Kinds:      map[string]KindSummary{},
+		Rejections: c.reasons,
+	}
+	ms := func(us uint64) float64 { return float64(us) / 1000 }
+	for name, k := range c.kinds {
+		s.Requests += k.ok + k.rejected + k.failed + k.transport
+		s.Kinds[name] = KindSummary{
+			OK: k.ok, Rejected: k.rejected, Failed: k.failed, Transport: k.transport,
+			P50MS:  ms(k.lat.Percentile(50)),
+			P99MS:  ms(k.lat.Percentile(99)),
+			P999MS: ms(k.lat.Percentile(99.9)),
+			MaxMS:  ms(k.lat.Max()),
+		}
+	}
+	if len(daemonStats) > 0 {
+		s.DaemonStats = json.RawMessage(daemonStats)
+	}
+	return s
+}
+
+// genConfig shapes the synthetic request mix.
+type genConfig struct {
+	base       string
+	tenants    int
+	cellFrac   float64
+	approxFrac float64
+	deadlineMS int64
+	seeds      uint64 // distinct cell seeds, cycled per request
+	mixes      []string
+	figures    []string
+}
+
+// opFor deterministically picks the i-th request a worker issues:
+// method, path, body (nil for GETs), and kind label.
+func opFor(cfg genConfig, rng *rand.Rand) (method, path string, body []byte, kind string) {
+	if rng.Float64() < cfg.cellFrac {
+		densities := []string{"8Gb", "16Gb", "24Gb", "32Gb"}
+		bundles := []string{"allbank", "perbank", "codesign", "fgr2x", "adaptive"}
+		seed := rng.Uint64()%cfg.seeds + 1
+		req := map[string]any{
+			"cell": map[string]any{
+				"mix":     cfg.mixes[rng.Intn(len(cfg.mixes))],
+				"density": densities[rng.Intn(len(densities))],
+				"bundle":  bundles[rng.Intn(len(bundles))],
+			},
+			"params": map[string]any{"seed": seed},
+		}
+		if cfg.deadlineMS > 0 {
+			req["deadline_ms"] = cfg.deadlineMS
+		}
+		raw, _ := json.Marshal(req)
+		return http.MethodPost, "/v1/jobs", raw, kindEnqueue
+	}
+	fig := cfg.figures[rng.Intn(len(cfg.figures))]
+	if rng.Float64() < cfg.approxFrac {
+		return http.MethodGet, "/v1/figures/" + fig + "?fidelity=approx", nil, kindApprox
+	}
+	return http.MethodGet, "/v1/figures/" + fig, nil, kindFigure
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8372", "refschedd address (host:port)")
+		n          = flag.Int("n", 5000, "total requests to issue (0 = run for -duration)")
+		duration   = flag.Duration("duration", 0, "stop after this long (0 = run until -n)")
+		conc       = flag.Int("c", 32, "concurrent workers")
+		tenants    = flag.Int("tenants", 4, "distinct X-Tenant identities to spread load across")
+		cellFrac   = flag.Float64("cell-frac", 0.6, "fraction of requests that POST single-cell jobs")
+		approxFrac = flag.Float64("approx-frac", 0.5, "fraction of figure GETs that ask for fidelity=approx")
+		deadlineMS = flag.Int64("deadline-ms", 0, "attach this deadline_ms to every job POST (0 = none)")
+		seeds      = flag.Uint64("seeds", 64, "distinct cell seeds to cycle through (cache/dedup pressure knob)")
+		mixes      = flag.String("mixes", "WL-6", "comma-separated mixes for cell POSTs (match the daemon's -mixes)")
+		figures    = flag.String("figures", "", "comma-separated figure targets for GETs (empty = all)")
+		seed       = flag.Int64("seed", 1, "workload-shape seed")
+		statsEvery = flag.Int("stats-every", 200, "issue a /statsz scrape every this many requests per worker")
+		ackedFile  = flag.String("acked-file", "", "append every acknowledged job id here, one per line")
+		out        = flag.String("out", "", "write the JSON summary here as well as stdout")
+		timeout    = flag.Duration("timeout", 120*time.Second, "per-request HTTP timeout")
+	)
+	flag.Parse()
+	if *n <= 0 && *duration <= 0 {
+		fmt.Fprintln(os.Stderr, "refload: need -n or -duration")
+		os.Exit(2)
+	}
+
+	cfg := genConfig{
+		base:       "http://" + *addr,
+		tenants:    *tenants,
+		cellFrac:   *cellFrac,
+		approxFrac: *approxFrac,
+		deadlineMS: *deadlineMS,
+		seeds:      max(*seeds, 1),
+		mixes:      strings.Split(*mixes, ","),
+		figures:    harness.FigureNames(),
+	}
+	if *figures != "" {
+		cfg.figures = strings.Split(*figures, ",")
+	}
+
+	col := newCollector()
+	client := &http.Client{Timeout: *timeout}
+	var (
+		issued sync.Mutex
+		count  int
+	)
+	take := func() (int, bool) {
+		issued.Lock()
+		defer issued.Unlock()
+		if *n > 0 && count >= *n {
+			return 0, false
+		}
+		count++
+		return count, true
+	}
+
+	start := time.Now()
+	stop := time.Time{}
+	if *duration > 0 {
+		stop = start.Add(*duration)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
+			tenant := fmt.Sprintf("load-%d", w%cfg.tenants)
+			for i := 0; ; i++ {
+				if !stop.IsZero() && time.Now().After(stop) {
+					return
+				}
+				if _, ok := take(); !ok {
+					return
+				}
+				method, path, body, kind := opFor(cfg, rng)
+				if *statsEvery > 0 && i%*statsEvery == *statsEvery-1 {
+					method, path, body, kind = http.MethodGet, "/statsz", nil, kindScrape
+				}
+				runOne(client, col, cfg.base, tenant, method, path, body, kind)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if *ackedFile != "" {
+		col.mu.Lock()
+		lines := strings.Join(col.acked, "\n")
+		col.mu.Unlock()
+		if lines != "" {
+			lines += "\n"
+		}
+		if err := os.WriteFile(*ackedFile, []byte(lines), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "refload: writing %s: %v\n", *ackedFile, err)
+			os.Exit(1)
+		}
+	}
+
+	// One last daemon snapshot for the summary; tolerate a daemon that
+	// is already gone.
+	var daemonStats []byte
+	if resp, err := client.Get(cfg.base + "/statsz"); err == nil {
+		if resp.StatusCode == http.StatusOK {
+			daemonStats, _ = io.ReadAll(resp.Body)
+		}
+		resp.Body.Close()
+	}
+
+	sum := col.summarize(elapsed, daemonStats)
+	raw, _ := json.MarshalIndent(sum, "", " ")
+	fmt.Println(string(raw))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "refload: writing %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runOne issues a single request and feeds the collector. Transport
+// errors are expected during the soak drill's kill window; they are
+// counted, backed off briefly, and never fatal.
+func runOne(client *http.Client, col *collector, base, tenant, method, path string, body []byte, kind string) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, base+path, rd)
+	if err != nil {
+		col.observe(kind, 0, 0, true, "")
+		return
+	}
+	req.Header.Set("X-Tenant", tenant)
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		col.observe(kind, 0, 0, true, "")
+		time.Sleep(200 * time.Millisecond)
+		return
+	}
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	elapsed := time.Since(t0)
+
+	reason := ""
+	if resp.StatusCode == http.StatusTooManyRequests {
+		var rej struct {
+			Reason string `json:"reason"`
+		}
+		json.Unmarshal(payload, &rej)
+		reason = rej.Reason
+	}
+	col.observe(kind, elapsed, resp.StatusCode, false, reason)
+
+	// 202 means a fresh job was queued — with -job-wal, its accept
+	// record is durable before this response exists. 200 (dedup or
+	// cache hit) costs no queue slot and writes no ledger record, so it
+	// is deliberately not counted as an acknowledged accept.
+	if kind == kindEnqueue && resp.StatusCode == http.StatusAccepted {
+		var ack struct {
+			ID string `json:"id"`
+		}
+		if json.Unmarshal(payload, &ack) == nil && ack.ID != "" {
+			col.ack(ack.ID)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestOpForMixAndDeterminism: the generated mix respects the
+// configured fractions, every POST body is valid JSON carrying the
+// deadline, and the same seed reproduces the same request stream.
+func TestOpForMixAndDeterminism(t *testing.T) {
+	cfg := genConfig{
+		cellFrac:   0.6,
+		approxFrac: 0.5,
+		deadlineMS: 250,
+		seeds:      8,
+		mixes:      []string{"WL-6"},
+		figures:    []string{"fig10", "table1"},
+	}
+	counts := map[string]int{}
+	rng := rand.New(rand.NewSource(42))
+	const total = 2000
+	for i := 0; i < total; i++ {
+		method, path, body, kind := opFor(cfg, rng)
+		counts[kind]++
+		switch kind {
+		case kindEnqueue:
+			if method != http.MethodPost || path != "/v1/jobs" {
+				t.Fatalf("enqueue op = %s %s", method, path)
+			}
+			var req struct {
+				Cell struct {
+					Mix, Density, Bundle string
+				} `json:"cell"`
+				Params     map[string]any `json:"params"`
+				DeadlineMS int64          `json:"deadline_ms"`
+			}
+			if err := json.Unmarshal(body, &req); err != nil {
+				t.Fatalf("POST body not JSON: %v", err)
+			}
+			if req.Cell.Mix != "WL-6" || req.Cell.Density == "" || req.Cell.Bundle == "" {
+				t.Fatalf("bad cell %+v", req.Cell)
+			}
+			if req.DeadlineMS != 250 {
+				t.Fatalf("deadline_ms = %d, want 250", req.DeadlineMS)
+			}
+			if seed := req.Params["seed"].(float64); seed < 1 || seed > 8 {
+				t.Fatalf("seed %v outside [1,8]", seed)
+			}
+		case kindFigure, kindApprox:
+			if method != http.MethodGet || !strings.HasPrefix(path, "/v1/figures/") {
+				t.Fatalf("figure op = %s %s", method, path)
+			}
+			if (kind == kindApprox) != strings.Contains(path, "fidelity=approx") {
+				t.Fatalf("kind %s does not match path %s", kind, path)
+			}
+		default:
+			t.Fatalf("unexpected kind %s", kind)
+		}
+	}
+	if frac := float64(counts[kindEnqueue]) / total; frac < 0.55 || frac > 0.65 {
+		t.Fatalf("enqueue fraction = %.3f, want ~0.6", frac)
+	}
+	if counts[kindApprox] == 0 || counts[kindFigure] == 0 {
+		t.Fatal("figure mix never produced one of exact/approx")
+	}
+
+	// Same seed, same stream.
+	a, b := rand.New(rand.NewSource(7)), rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		m1, p1, b1, k1 := opFor(cfg, a)
+		m2, p2, b2, k2 := opFor(cfg, b)
+		if m1 != m2 || p1 != p2 || k1 != k2 || string(b1) != string(b2) {
+			t.Fatalf("op %d diverged for identical seeds", i)
+		}
+	}
+}
+
+// TestCollectorSummary: outcomes are classified per kind, rejection
+// reasons are tallied, and percentiles come out of the histogram in
+// milliseconds.
+func TestCollectorSummary(t *testing.T) {
+	col := newCollector()
+	for i := 0; i < 100; i++ {
+		col.observe(kindEnqueue, 10*time.Millisecond, http.StatusAccepted, false, "")
+	}
+	col.observe(kindEnqueue, time.Second, http.StatusTooManyRequests, false, "brownout")
+	col.observe(kindEnqueue, time.Second, http.StatusTooManyRequests, false, "rate")
+	col.observe(kindEnqueue, time.Second, http.StatusInternalServerError, false, "")
+	col.observe(kindFigure, 0, 0, true, "")
+	col.ack("job-000001")
+	col.ack("job-000002")
+
+	sum := col.summarize(2*time.Second, []byte(`{"x":1}`))
+	if sum.Requests != 104 {
+		t.Fatalf("requests = %d, want 104", sum.Requests)
+	}
+	if sum.Acked != 2 {
+		t.Fatalf("acked = %d, want 2", sum.Acked)
+	}
+	enq := sum.Kinds[kindEnqueue]
+	if enq.OK != 100 || enq.Rejected != 2 || enq.Failed != 1 {
+		t.Fatalf("enqueue summary = %+v", enq)
+	}
+	// 10 ms observations land in the 10.0–10.1 ms bucket.
+	if enq.P50MS < 9 || enq.P50MS > 11 {
+		t.Fatalf("p50 = %.2f ms, want ~10", enq.P50MS)
+	}
+	if sum.Rejections["brownout"] != 1 || sum.Rejections["rate"] != 1 {
+		t.Fatalf("rejections = %v", sum.Rejections)
+	}
+	if sum.Kinds[kindFigure].Transport != 1 {
+		t.Fatalf("figure transport errors = %d, want 1", sum.Kinds[kindFigure].Transport)
+	}
+	if string(sum.DaemonStats) != `{"x":1}` {
+		t.Fatalf("daemon stats = %s", sum.DaemonStats)
+	}
+}

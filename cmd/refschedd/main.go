@@ -20,7 +20,18 @@
 //	GET  /statsz                  queue depth, cache hit ratio, per-figure
 //	                              latency quantiles
 //
-// Admission control returns 429 + Retry-After once the queue is full.
+// Admission control returns 429 + Retry-After once the queue is full,
+// when a tenant (X-Tenant header) exceeds its -tenant-rate bucket or
+// -tenant-max-in-flight cap, or when brownout sheds low-priority exact
+// work under queue pressure; each rejection carries a structured body
+// naming the tenant, the reason, and a retry estimate. While browned
+// out, default-fidelity figure GETs are served from the analytical
+// approx tier (marked "X-Fidelity: approx" + "Degraded: true"). A
+// watchdog kills jobs whose engine stops making progress, jobs accept
+// a deadline_ms budget, and -job-wal makes acknowledged jobs crash
+// durable: a SIGKILLed daemon replays them on restart under their
+// original ids.
+//
 // SIGINT/SIGTERM drain gracefully: in-flight jobs get -drain to finish,
 // then the result cache is persisted to -journal (if set) so the next
 // start serves previously computed figures instantly.
@@ -47,6 +58,7 @@ import (
 	"time"
 
 	"refsched/internal/buildinfo"
+	"refsched/internal/chaos"
 	"refsched/internal/harness"
 	"refsched/internal/service"
 )
@@ -71,7 +83,26 @@ func main() {
 		cacheMB    = flag.Int64("cache-mb", 0, "result cache budget in MiB (0 = default 64)")
 		shards     = flag.Int("cache-shards", 0, "result cache shard count (0 = default 8)")
 		journal    = flag.String("journal", "", "persist the result cache here on shutdown and warm from it on start")
+		jobWAL     = flag.String("job-wal", "", "acknowledged-job write-ahead log; accepted jobs survive a crash and replay on restart")
 		drain      = flag.Duration("drain", 0, "how long shutdown waits for in-flight jobs (0 = default 30s)")
+
+		tenantRate     = flag.Float64("tenant-rate", 0, "per-tenant sustained admission rate in req/s (0 = unlimited)")
+		tenantBurst    = flag.Int("tenant-burst", 0, "per-tenant token-bucket burst (0 = max(1, ceil(rate)))")
+		tenantInFlight = flag.Int("tenant-max-in-flight", 0, "per-tenant queued+running job cap (0 = unlimited)")
+
+		brownoutHigh  = flag.Float64("brownout-high", 0, "queue fraction that engages brownout (0 = default 0.75)")
+		brownoutLow   = flag.Float64("brownout-low", 0, "queue fraction that disengages brownout (0 = default 0.25)")
+		brownoutHold  = flag.Duration("brownout-hold", 0, "minimum time brownout stays engaged (0 = default 1s)")
+		brownoutShed  = flag.Int("brownout-shed-below", 0, "while engaged, shed fresh exact jobs below this priority")
+		noBrownout    = flag.Bool("no-brownout", false, "disable brownout graceful degradation")
+		watchdogEvery = flag.Duration("watchdog-interval", 0, "stalled-job scan interval (0 = default 1s)")
+		watchdogStall = flag.Duration("watchdog-stall", 0, "kill a running job after this long without engine progress (0 = default 30s)")
+		noWatchdog    = flag.Bool("no-watchdog", false, "disable the stalled-job watchdog")
+
+		chaosFrac  = flag.Float64("chaos-frac", 0, "fraction of simulation cells to fault-inject, in [0,1] (0 = off)")
+		chaosMode  = flag.String("chaos-mode", "transient", "injected fault shape: transient|error|panic|stall|mixed")
+		chaosSeed  = flag.Uint64("chaos-seed", 1, "fault placement seed")
+		chaosStall = flag.Duration("chaos-stall", 0, "stall-mode sleep per faulted cell (0 = default 10ms)")
 
 		logFormat = flag.String("log-format", "text", "structured log encoding on stderr: text|json")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -119,6 +150,20 @@ func main() {
 	p.Seed = *seed
 	p.Verbose = *verbose
 
+	if *chaosFrac > 0 {
+		mode, err := chaos.ParseMode(*chaosMode)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "refschedd: %v\n", err)
+			os.Exit(2)
+		}
+		p.Chaos = chaos.New(chaos.Config{
+			Seed:  *chaosSeed,
+			Frac:  *chaosFrac,
+			Mode:  mode,
+			Stall: *chaosStall,
+		})
+	}
+
 	svc, err := service.New(service.Config{
 		Params:       p,
 		QueueDepth:   *queueDepth,
@@ -127,8 +172,26 @@ func main() {
 		CacheBytes:   *cacheMB << 20,
 		CacheShards:  *shards,
 		JournalPath:  *journal,
+		WALPath:      *jobWAL,
 		DrainTimeout: *drain,
 		Logger:       log,
+		Tenant: service.TenantConfig{
+			Rate:        *tenantRate,
+			Burst:       *tenantBurst,
+			MaxInFlight: *tenantInFlight,
+		},
+		Brownout: service.BrownoutConfig{
+			HighFrac:          *brownoutHigh,
+			LowFrac:           *brownoutLow,
+			MinHold:           *brownoutHold,
+			ShedBelowPriority: *brownoutShed,
+			Disabled:          *noBrownout,
+		},
+		Watchdog: service.WatchdogConfig{
+			Interval: *watchdogEvery,
+			Stall:    *watchdogStall,
+			Disabled: *noWatchdog,
+		},
 	})
 	if err != nil {
 		log.Error("startup failed", "error", err)

@@ -14,6 +14,7 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -162,6 +163,17 @@ func (in *Injector) attempt(key string) int {
 // non-faulting attempt it simply runs the original closure with its
 // original seed.
 func Wrap[T any](in *Injector, key string, run func() (T, error)) func() (T, error) {
+	return WrapContext(in, key, nil, run)
+}
+
+// WrapContext is Wrap with a cancellation context for the stall mode:
+// a stalled cell sleeps on a timer but aborts early — returning the
+// context error instead of the cell's result — when ctx ends. That is
+// what lets a watchdog or deadline terminate a chaos-stalled job
+// within its bound instead of waiting out the full stall. A nil ctx
+// stalls uninterruptibly, like Wrap. Fault placement is unchanged:
+// ctx affects only how a stall ends, never which cells fault.
+func WrapContext[T any](in *Injector, key string, ctx context.Context, run func() (T, error)) func() (T, error) {
 	if in == nil {
 		return run
 	}
@@ -178,8 +190,18 @@ func Wrap[T any](in *Injector, key string, run func() (T, error)) func() (T, err
 		case ModeError:
 			return zero, &InjectedError{Key: key, Attempt: attempt}
 		case ModeStall:
-			time.Sleep(in.cfg.Stall)
-			return run()
+			if ctx == nil {
+				time.Sleep(in.cfg.Stall)
+				return run()
+			}
+			t := time.NewTimer(in.cfg.Stall)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return run()
+			case <-ctx.Done():
+				return zero, fmt.Errorf("chaos: stall in %q interrupted: %w", key, ctx.Err())
+			}
 		default: // ModeTransient
 			if attempt <= in.cfg.FailuresPerCell {
 				return zero, runner.MarkTransient(&InjectedError{Key: key, Attempt: attempt})

@@ -1,0 +1,44 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestStallInterruptedByContext: WrapContext lets a deadline or
+// watchdog cancel a chaos stall — the cell returns the context error
+// promptly instead of sleeping out the full stall.
+func TestStallInterruptedByContext(t *testing.T) {
+	in := New(Config{Seed: 1, Frac: 1, Mode: ModeStall, Stall: time.Minute})
+	ctx, cancel := context.WithCancel(context.Background())
+
+	done := make(chan error, 1)
+	run := WrapContext(in, "cell", ctx, func() (int, error) { return 42, nil })
+	go func() {
+		_, err := run()
+		done <- err
+	}()
+
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("stalled cell returned %v, want context.Canceled in chain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled stall did not return promptly")
+	}
+}
+
+// TestStallCompletesWithLiveContext: an un-cancelled context leaves
+// stall semantics intact — sleep, then run the cell normally.
+func TestStallCompletesWithLiveContext(t *testing.T) {
+	in := New(Config{Seed: 1, Frac: 1, Mode: ModeStall, Stall: time.Millisecond})
+	run := WrapContext(in, "cell", context.Background(), func() (int, error) { return 42, nil })
+	v, err := run()
+	if err != nil || v != 42 {
+		t.Fatalf("stalled cell = (%d, %v), want (42, nil)", v, err)
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"refsched/internal/config"
+	"refsched/internal/sim"
+)
+
+// TestRunAbortsOnCancelledContext: Options.Ctx hard-cancels a running
+// simulation — the engine checkpoint converts the context error into a
+// cell-tagged returned error (via *sim.CancelFault), never a crash,
+// and errors.Is still sees the context error through the chain.
+func TestRunAbortsOnCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // aborts at the first checkpoint
+
+	cfg := testConfig(config.Density8Gb, config.RefreshAllBank)
+	sys, err := Build(cfg, testMix(), Options{FootprintScale: 0.01, Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough windows that the run crosses at least one checkpoint
+	// interval (window ≈ 100k cycles at scale 2048).
+	rep, err := sys.RunWindows(1, 4)
+	if err == nil {
+		t.Fatal("run completed despite a cancelled hard context")
+	}
+	if rep != nil {
+		t.Error("cancelled run must not return a report")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled in chain", err)
+	}
+	var cf *sim.CancelFault
+	if !errors.As(err, &cf) {
+		t.Errorf("err = %v, want *sim.CancelFault in chain", err)
+	}
+}
+
+// TestRunCompletesWithLiveContext: a live Options.Ctx adds checkpoints
+// but changes nothing about a healthy run's result.
+func TestRunCompletesWithLiveContext(t *testing.T) {
+	cfg := testConfig(config.Density8Gb, config.RefreshAllBank)
+
+	plain, err := Build(cfg, testMix(), Options{FootprintScale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.RunWindows(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	guarded, err := Build(cfg, testMix(), Options{FootprintScale: 0.01, Ctx: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := guarded.RunWindows(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Error("installing a live cancellation context changed the simulated result")
+	}
+}

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -40,7 +41,22 @@ type Options struct {
 	// or timeline recorder is attached (those observers are shared
 	// mutable state on the controller's accept path).
 	ChannelParallel bool
+	// Ctx, when non-nil, hard-cancels a running simulation: the engine
+	// checks it at cooperative checkpoints (every cancelCheckCycles of
+	// simulated time) and a cancelled or expired context aborts the run
+	// with an error wrapping the context error. This is distinct from
+	// the sweep-level context in the runner, whose cancellation lets
+	// in-flight cells finish: Ctx is for deadlines and watchdogs that
+	// must abort even a wedged or oversized cell mid-run.
+	Ctx context.Context
 }
+
+// cancelCheckCycles is how often (in simulated cycles) a running
+// engine consults Options.Ctx — small enough that even heavily scaled
+// quick-preset cells (whose whole run is a few hundred thousand
+// cycles) hit checkpoints, while the check itself (one atomic load in
+// ctx.Err) stays far off the per-event hot path.
+const cancelCheckCycles = 1 << 16
 
 // System is one fully wired simulated machine executing a workload mix.
 type System struct {
@@ -77,6 +93,9 @@ func Build(cfg config.System, mix workload.Mix, opt Options) (*System, error) {
 	s := &System{Cfg: cfg, Eng: sim.NewEngine(), Mix: mix}
 	if opt.ChannelParallel {
 		s.Eng.EnableParallel(cfg.Mem.Channels) // no-op unless Channels >= 2
+	}
+	if ctx := opt.Ctx; ctx != nil {
+		s.Eng.SetCheckpoint(cancelCheckCycles, ctx.Err)
 	}
 	// Pre-size the event queues for the steady-state population: each
 	// core keeps up to MLP misses in flight, each controller schedules

@@ -62,6 +62,14 @@ type Params struct {
 	// graceful: in-flight cells finish (and are journaled), unstarted
 	// cells are skipped, and the sweep returns the context error.
 	Ctx context.Context
+	// HardCtx, when non-nil, aborts in-flight cells mid-run: the exact
+	// engine checks it at cooperative checkpoints (and chaos stalls
+	// select on it), so cancellation or deadline expiry fails the cell
+	// with a typed error wrapping the context error instead of letting
+	// it run to completion. Contrast Ctx, whose cancellation is
+	// graceful. The serving daemon sets it per job to enforce request
+	// deadlines and watchdog kills.
+	HardCtx context.Context
 	// FailFast aborts a sweep on its first failed cell (old pipeline
 	// semantics). The default quarantines failed cells into the
 	// Result's failure summary and completes the rest of the grid.
@@ -266,7 +274,7 @@ func (p Params) run(cfg config.System, mix workload.Mix) (*core.Report, error) {
 	default:
 		return nil, fmt.Errorf("harness: unknown mode %q (want %q or %q)", p.Mode, ModeExact, ModeApprox)
 	}
-	sys, err := core.Build(cfg, mix, core.Options{FootprintScale: p.FootprintScale})
+	sys, err := core.Build(cfg, mix, core.Options{FootprintScale: p.FootprintScale, Ctx: p.HardCtx})
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s/%s: %w", mix.Name, cfg.Mem.Density, cfg.Refresh.Policy, err)
 	}

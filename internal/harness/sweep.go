@@ -119,7 +119,10 @@ func (p Params) runCells(figID string, jobs []cellJob) (map[string]*core.Report,
 	for i, j := range toRun {
 		run := j.run
 		if p.Chaos != nil {
-			run = chaos.Wrap(p.Chaos, figID+"|"+j.key, run)
+			// HardCtx (deadline/watchdog cancellation) interrupts chaos
+			// stalls, so a killed job terminates within its bound
+			// instead of waiting out every injected sleep.
+			run = chaos.WrapContext(p.Chaos, figID+"|"+j.key, p.HardCtx, run)
 		}
 		rjobs[i] = runner.Job[*core.Report]{Cell: j.cell, Run: run}
 	}

@@ -18,10 +18,12 @@ package journal
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
+	"syscall"
 )
 
 // file is the on-disk layout.
@@ -172,6 +174,26 @@ func (j *Journal) flush() error {
 	}
 	if err := os.Rename(tmp.Name(), j.path); err != nil {
 		return fmt.Errorf("journal: %w", err)
+	}
+	// The rename is durable only once the directory entry itself is on
+	// disk: fsync the parent directory, or a crash right after the
+	// rename can resurface the old file (or none) on restart even
+	// though the data blocks were synced.
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a preceding rename within it survives
+// a crash. Filesystems that refuse to fsync directories (some network
+// or overlay mounts return EINVAL) degrade to the rename-only
+// guarantee rather than failing the write.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("journal: syncing %s: %w", dir, err)
 	}
 	return nil
 }

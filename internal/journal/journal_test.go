@@ -213,3 +213,54 @@ func TestRecordBatchEmptyIsNoop(t *testing.T) {
 		t.Fatal("empty batch should not create the file")
 	}
 }
+
+// TestJournalPartialWriteRefused models a torn write — the crash shapes
+// the tmp+fsync+rename protocol exists to prevent, but which a buggy
+// filesystem, a direct edit, or a pre-fsync power cut can still
+// produce. Every truncation point of a real journal must hit the
+// refusal path (an explicit corrupt-file error naming the recovery
+// action), never a silent resume into partial state.
+func TestJournalPartialWriteRefused(t *testing.T) {
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "ref.journal.json")
+	j, err := Open(ref, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range []string{"a", "b", "c"} {
+		if err := j.Record(k, report{Events: uint64(i), Name: strings.Repeat(k, 30)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncations at a few representative depths: inside the
+	// fingerprint header, mid-entry, and inside the closing brace
+	// (len-1 only strips the trailing newline, which still parses).
+	for _, n := range []int{1, len(data) / 4, len(data) / 2, len(data) - 2} {
+		path := filepath.Join(dir, "torn.journal.json")
+		if err := os.WriteFile(path, data[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Open(path, "fp")
+		if err == nil {
+			t.Fatalf("truncation at %d/%d bytes resumed silently", n, len(data))
+		}
+		if !strings.Contains(err.Error(), "delete it") {
+			t.Errorf("truncation at %d: error %q should name the recovery action", n, err)
+		}
+	}
+
+	// A corrupt tail appended after a valid snapshot (a torn second
+	// write over a shorter first one) must also refuse.
+	path := filepath.Join(dir, "tail.journal.json")
+	if err := os.WriteFile(path, append(append([]byte{}, data...), []byte(`{"fingerprint":`)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, "fp"); err == nil {
+		t.Fatal("journal with trailing garbage resumed silently")
+	}
+}

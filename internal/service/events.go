@@ -3,30 +3,59 @@ package service
 import (
 	"encoding/json"
 	"sync"
+	"sync/atomic"
 )
 
 // eventHub fans one job's progress events out to any number of NDJSON
-// stream subscribers. Events are retained for the job's lifetime so a
-// subscriber that connects mid-run (or after completion) replays the
-// full history before streaming live — every client sees the same
-// complete event sequence regardless of when it attached.
+// stream subscribers. Recent events are retained so a subscriber that
+// connects mid-run (or after completion) replays history before
+// streaming live; both the retained history and each subscriber's
+// in-flight buffer are bounded, so neither a long sweep nor a stalled
+// client can grow daemon memory without limit. Where the bounds bite,
+// the stream says so in-band: a trimmed replay starts with a
+// {"event":"truncated"} line and a slow subscriber that missed events
+// gets a {"event":"dropped"} line before its next delivery, so
+// consumers can tell a gap from a complete sequence.
 type eventHub struct {
 	mu      sync.Mutex
 	history [][]byte
-	subs    map[chan []byte]struct{}
+	trimmed uint64 // history lines discarded to honour historyLimit
+	subs    map[chan []byte]*subscriber
 	closed  bool
+
+	// drops, when non-nil, is the daemon-wide slow-subscriber drop
+	// counter (a metrics registry target) shared by every job's hub.
+	drops *atomic.Uint64
+}
+
+type subscriber struct {
+	dropped uint64 // events lost to a full buffer since the last marker
 }
 
 // subscriberBuffer bounds a slow subscriber; a full buffer drops the
-// event for that subscriber rather than stalling the job.
+// event for that subscriber (noted in-band) rather than stalling the
+// job or buffering without bound.
 const subscriberBuffer = 256
 
+// historyLimit bounds how many event lines a job retains for replay.
+// A figure sweep emits two lines per cell plus a handful of state
+// transitions, so real jobs fit comfortably; a pathological one is
+// truncated oldest-first with an in-band marker.
+const historyLimit = 1024
+
 func newEventHub() *eventHub {
-	return &eventHub{subs: map[chan []byte]struct{}{}}
+	return &eventHub{subs: map[chan []byte]*subscriber{}}
+}
+
+// marker builds the in-band control lines ({"event":"truncated"|"dropped"}).
+func marker(event string, key string, n uint64) []byte {
+	line, _ := json.Marshal(map[string]any{"event": event, key: n})
+	return line
 }
 
 // publish records v (JSON-encoded, one line) and delivers it to live
-// subscribers.
+// subscribers. A subscriber whose buffer is full loses the line (and
+// later learns how many it lost); the publisher never blocks.
 func (h *eventHub) publish(v any) {
 	line, err := json.Marshal(v)
 	if err != nil {
@@ -38,27 +67,51 @@ func (h *eventHub) publish(v any) {
 		return
 	}
 	h.history = append(h.history, line)
-	for ch := range h.subs {
+	if len(h.history) > historyLimit {
+		over := len(h.history) - historyLimit
+		h.history = append(h.history[:0:0], h.history[over:]...)
+		h.trimmed += uint64(over)
+	}
+	for ch, sub := range h.subs {
+		if sub.dropped > 0 {
+			// Tell the consumer about the gap before resuming the
+			// stream; if even the marker cannot be delivered the gap
+			// just grows.
+			select {
+			case ch <- marker("dropped", "n", sub.dropped):
+				sub.dropped = 0
+			default:
+			}
+		}
 		select {
 		case ch <- line:
 		default:
+			sub.dropped++
+			if h.drops != nil {
+				h.drops.Add(1)
+			}
 		}
 	}
 }
 
-// subscribe returns the history so far plus a channel of subsequent
+// subscribe returns the retained history plus a channel of subsequent
 // events; the channel is closed when the job finishes. cancel detaches
-// early (idempotent, safe after close).
+// early and releases the subscriber's resources (idempotent, safe
+// after close). A replay that lost lines to the history bound starts
+// with a truncation marker.
 func (h *eventHub) subscribe() (replay [][]byte, events <-chan []byte, cancel func()) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	replay = append([][]byte(nil), h.history...)
+	if h.trimmed > 0 {
+		replay = append(replay, marker("truncated", "dropped", h.trimmed))
+	}
+	replay = append(replay, h.history...)
 	ch := make(chan []byte, subscriberBuffer)
 	if h.closed {
 		close(ch)
 		return replay, ch, func() {}
 	}
-	h.subs[ch] = struct{}{}
+	h.subs[ch] = &subscriber{}
 	return replay, ch, func() {
 		h.mu.Lock()
 		defer h.mu.Unlock()
@@ -67,6 +120,14 @@ func (h *eventHub) subscribe() (replay [][]byte, events <-chan []byte, cancel fu
 			close(ch)
 		}
 	}
+}
+
+// subscribers reports how many live subscribers are attached — the
+// resource-release observable disconnect tests assert on.
+func (h *eventHub) subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
 }
 
 // close ends the stream for all subscribers; further publishes are

@@ -1,0 +1,170 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"refsched/internal/chaos"
+)
+
+// TestEventHubHistoryBound: the replay buffer is bounded; a subscriber
+// connecting after the bound was crossed sees an explicit truncation
+// marker, not a silently incomplete history.
+func TestEventHubHistoryBound(t *testing.T) {
+	h := newEventHub()
+	const over = 50
+	for i := 0; i < historyLimit+over; i++ {
+		h.publish(map[string]any{"event": "cell", "n": i})
+	}
+	replay, _, cancel := h.subscribe()
+	defer cancel()
+	if len(replay) != historyLimit+1 {
+		t.Fatalf("replay length = %d, want %d history + 1 marker", len(replay), historyLimit)
+	}
+	var marker struct {
+		Event   string `json:"event"`
+		Dropped uint64 `json:"dropped"`
+	}
+	if err := json.Unmarshal(replay[0], &marker); err != nil {
+		t.Fatal(err)
+	}
+	if marker.Event != "truncated" || marker.Dropped != over {
+		t.Fatalf("first replay line = %s, want truncated marker with dropped=%d", replay[0], over)
+	}
+	// The retained lines are the newest ones.
+	var last struct {
+		N int `json:"n"`
+	}
+	if err := json.Unmarshal(replay[len(replay)-1], &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.N != historyLimit+over-1 {
+		t.Fatalf("last retained event n = %d, want %d", last.N, historyLimit+over-1)
+	}
+}
+
+// TestEventHubSlowSubscriberDropsWithMarker: a subscriber whose buffer
+// fills loses events (counted on the shared drop counter) and learns
+// the gap size in-band before the stream resumes.
+func TestEventHubSlowSubscriberDropsWithMarker(t *testing.T) {
+	h := newEventHub()
+	var drops atomic.Uint64
+	h.drops = &drops
+
+	_, events, cancel := h.subscribe()
+	defer cancel()
+
+	const over = 5
+	for i := 0; i < subscriberBuffer+over; i++ {
+		h.publish(map[string]any{"event": "cell", "n": i})
+	}
+	if got := drops.Load(); got != over {
+		t.Fatalf("drop counter = %d, want %d", got, over)
+	}
+	// Make room, then publish once more: the gap marker must precede
+	// the new line.
+	<-events
+	<-events
+	h.publish(map[string]any{"event": "cell", "n": subscriberBuffer + over})
+
+	var seen []string
+	for i := 0; i < subscriberBuffer; i++ { // drain the rest of the buffer
+		seen = append(seen, string(<-events))
+	}
+	wantMarker := fmt.Sprintf(`{"event":"dropped","n":%d}`, over)
+	found := false
+	for i, line := range seen {
+		if line == wantMarker {
+			found = true
+			if i+1 >= len(seen) {
+				t.Fatal("dropped marker not followed by the resumed event")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no %s marker in stream after drops", wantMarker)
+	}
+}
+
+// TestEventHubCancelReleasesSubscriber: cancel detaches exactly one
+// subscription (idempotently) and close detaches the rest.
+func TestEventHubCancelReleasesSubscriber(t *testing.T) {
+	h := newEventHub()
+	_, ch1, cancel1 := h.subscribe()
+	_, _, cancel2 := h.subscribe()
+	if got := h.subscribers(); got != 2 {
+		t.Fatalf("subscribers = %d, want 2", got)
+	}
+	cancel1()
+	cancel1() // idempotent
+	if got := h.subscribers(); got != 1 {
+		t.Fatalf("after cancel, subscribers = %d, want 1", got)
+	}
+	if _, ok := <-ch1; ok {
+		t.Fatal("cancelled subscriber's channel should be closed")
+	}
+	h.close()
+	if got := h.subscribers(); got != 0 {
+		t.Fatalf("after close, subscribers = %d, want 0", got)
+	}
+	cancel2() // safe after close
+
+	// Subscribing after close yields history and a closed channel.
+	_, ch3, cancel3 := h.subscribe()
+	if _, ok := <-ch3; ok {
+		t.Fatal("post-close subscription channel should be closed")
+	}
+	cancel3()
+}
+
+// TestEventsClientDisconnectReleasesSubscriber: an NDJSON streaming
+// client that goes away mid-job must release its hub subscription —
+// the stalling-reader resource-leak case. The job is pinned mid-run
+// with a deterministic chaos stall so the stream is live when the
+// client vanishes.
+func TestEventsClientDisconnectReleasesSubscriber(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) {
+		c.Workers = 1
+		c.Params.Chaos = chaos.New(chaos.Config{Seed: 1, Frac: 1, Mode: chaos.ModeStall, Stall: 1500 * time.Millisecond})
+	})
+
+	_, out := postJob(t, ts, Request{Cell: &CellSpec{Mix: "WL-6", Density: "8Gb", Bundle: "allbank"}})
+	id, _ := out["id"].(string)
+	if id == "" {
+		t.Fatalf("no job id in %v", out)
+	}
+	j := s.getJob(id)
+	if j == nil {
+		t.Fatal("job not addressable")
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events status = %d", resp.StatusCode)
+	}
+	// Prove the stream is attached and live, then vanish.
+	if _, err := bufio.NewReader(resp.Body).ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.hub.subscribers(); got != 1 {
+		t.Fatalf("subscribers while attached = %d, want 1", got)
+	}
+	resp.Body.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for j.hub.subscribers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscription not released after client disconnect")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	waitJobState(t, ts, id, JobDone)
+}

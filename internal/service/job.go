@@ -47,6 +47,15 @@ type Request struct {
 	Cell     *CellSpec       `json:"cell,omitempty"`
 	Priority int             `json:"priority,omitempty"`
 	Params   *ParamOverrides `json:"params,omitempty"`
+	// DeadlineMS bounds the job's total lifetime — queue wait plus
+	// execution — in milliseconds from admission. A job whose deadline
+	// passes while queued is shed without burning a worker; one whose
+	// deadline passes mid-run is hard-cancelled at the next engine
+	// checkpoint. Either way it lands in JobExpired. Zero means no
+	// deadline. The deadline is not part of the cache key, and a
+	// request coalesced onto an in-flight job keeps that job's
+	// deadline, not its own.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // CellSpec addresses one simulation cell the way the figures name
@@ -137,8 +146,15 @@ const (
 	// per-cell detail is in the status payload.
 	JobQuarantined JobState = "quarantined"
 	// JobFailed: the job produced no result (bad request resolved at
-	// run time, cancellation, or a fail-fast/sweep-level error).
+	// run time, cancellation, a watchdog kill, or a fail-fast/
+	// sweep-level error).
 	JobFailed JobState = "failed"
+	// JobExpired: the request's deadline elapsed before the job could
+	// produce a result — either while it sat queued (shed without
+	// running) or mid-execution (hard-cancelled at an engine
+	// checkpoint). Expired is a terminal answer, not a loss: the job
+	// stays addressable and reports why it produced nothing.
+	JobExpired JobState = "expired"
 )
 
 // CellFailure is the wire form of a quarantined cell's typed error
@@ -174,6 +190,8 @@ type JobStatus struct {
 	Figure      string        `json:"figure,omitempty"`
 	Cell        *CellSpec     `json:"cell,omitempty"`
 	Priority    int           `json:"priority"`
+	Tenant      string        `json:"tenant,omitempty"`
+	DeadlineAt  *time.Time    `json:"deadline_at,omitempty"`
 	CreatedAt   time.Time     `json:"created_at"`
 	StartedAt   *time.Time    `json:"started_at,omitempty"`
 	FinishedAt  *time.Time    `json:"finished_at,omitempty"`
@@ -198,6 +216,11 @@ type job struct {
 	priority int
 	seq      uint64 // queue tiebreak: FIFO within a priority
 	created  time.Time
+	tenant   string
+	// deadline is the absolute admission deadline (zero: none). It is
+	// fixed at enqueue (or preserved across a WAL-replayed restart), so
+	// a recovered job keeps the wall-clock promise made to its client.
+	deadline time.Time
 
 	hub  *eventHub
 	done chan struct{} // closed exactly once, when the job finishes
@@ -219,7 +242,21 @@ type job struct {
 	state      JobState
 	started    time.Time
 	finished   time.Time
-	err        error
+	// softCancel/hardCancel abort the in-flight run (armed by execute
+	// for the duration of the run). Soft lets in-flight cells finish;
+	// hard aborts them at the next engine checkpoint and interrupts
+	// injected chaos stalls. killErr records why the watchdog (or any
+	// future killer) fired; it wins the post-run state classification.
+	softCancel func()
+	hardCancel func()
+	killErr    error
+	// tenantHeld marks that this job owns one slot of its tenant's
+	// in-flight budget, released exactly once when the job finishes.
+	tenantHeld bool
+	// walAccepted marks that this job has a durable accept record in
+	// the job WAL, so finishing must append the matching done record.
+	walAccepted bool
+	err         error
 	failures   []*runner.CellError
 	body       []byte
 	cacheHit   bool
@@ -336,6 +373,70 @@ func (j *job) cellDone(c runner.Cell) {
 	})
 }
 
+// arm installs the run's cancellation hooks; disarm removes them when
+// the run returns (so a late watchdog scan cannot cancel a context
+// that has already been recycled).
+func (j *job) arm(soft, hard func()) {
+	j.mu.Lock()
+	j.softCancel, j.hardCancel = soft, hard
+	j.mu.Unlock()
+}
+
+func (j *job) disarm() {
+	j.mu.Lock()
+	j.softCancel, j.hardCancel = nil, nil
+	j.mu.Unlock()
+}
+
+// kill aborts a running job: it records why and fires both cancellation
+// paths (hard first, so stalled cells abort instead of finishing
+// gracefully). It reports whether this call was the one that killed the
+// job — false if it was not running or already being killed.
+func (j *job) kill(err error) bool {
+	j.mu.Lock()
+	if j.state != JobRunning || j.killErr != nil {
+		j.mu.Unlock()
+		return false
+	}
+	j.killErr = err
+	soft, hard := j.softCancel, j.hardCancel
+	j.mu.Unlock()
+	if hard != nil {
+		hard()
+	}
+	if soft != nil {
+		soft()
+	}
+	return true
+}
+
+// killed returns the kill reason, nil if the job was never killed.
+func (j *job) killed() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.killErr
+}
+
+// pastDeadline reports whether the job has a deadline and it has
+// elapsed.
+func (j *job) pastDeadline() bool {
+	return !j.deadline.IsZero() && !time.Now().Before(j.deadline)
+}
+
+// progress returns the job's watchdog signature — a value that changes
+// whenever the engine-throughput gauge advances (events executed by
+// completed cells, plus the cell completion count) — and whether the
+// job is currently running. A signature frozen across the watchdog's
+// stall bound is the definition of a stalled job.
+func (j *job) progress() (sig uint64, running bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobRunning {
+		return 0, false
+	}
+	return j.engineEvents.Load()*1_000_003 + uint64(j.cellsDone), true
+}
+
 // addDeduped counts one more request coalesced onto this job.
 func (j *job) addDeduped() {
 	j.mu.Lock()
@@ -378,6 +479,7 @@ func (j *job) snapshot() JobStatus {
 		ID:         j.id,
 		State:      j.state,
 		Priority:   j.priority,
+		Tenant:     j.tenant,
 		CreatedAt:  j.created,
 		CacheHit:   j.cacheHit,
 		Deduped:    j.deduped,
@@ -388,6 +490,10 @@ func (j *job) snapshot() JobStatus {
 		st.Cell = j.req.Cell
 	} else {
 		st.Figure = j.figure
+	}
+	if !j.deadline.IsZero() {
+		t := j.deadline
+		st.DeadlineAt = &t
 	}
 	if !j.started.IsZero() {
 		t := j.started

@@ -1,0 +1,65 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestPanicRecoveryMiddleware: a panicking handler must not take the
+// daemon down — the request gets a 500 carrying its request id, the
+// panic is counted, and the server keeps serving.
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	s.mux.HandleFunc("GET /v1/test-panic", func(_ http.ResponseWriter, _ *http.Request) {
+		panic("injected handler panic")
+	})
+	s.mux.HandleFunc("GET /v1/test-panic-late", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("partial"))
+		panic("injected handler panic after write")
+	})
+
+	resp, body := get(t, ts, "/v1/test-panic")
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500; body %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Error     string `json:"error"`
+		RequestID string `json:"request_id"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("non-JSON 500 body %q: %v", body, err)
+	}
+	if out.Error != "internal server error" || out.RequestID == "" {
+		t.Fatalf("500 body = %+v, want generic error plus a request id", out)
+	}
+	if got := s.panics.Load(); got != 1 {
+		t.Fatalf("panics counter = %d, want 1", got)
+	}
+
+	// A panic after the handler already wrote cannot be turned into a
+	// clean 500; it must still be contained and counted.
+	if resp, _ := get(t, ts, "/v1/test-panic-late"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("late-panic status = %d, want the already-written 200", resp.StatusCode)
+	}
+	if got := s.panics.Load(); got != 2 {
+		t.Fatalf("panics counter = %d, want 2", got)
+	}
+
+	// The daemon survived both.
+	if resp, _ := get(t, ts, "/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after panics = %d, want 200", resp.StatusCode)
+	}
+	resp, body = get(t, ts, "/statsz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("statsz = %d", resp.StatusCode)
+	}
+	var st Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Resilience.HTTPPanics != 2 {
+		t.Fatalf("statsz http_panics = %d, want 2", st.Resilience.HTTPPanics)
+	}
+}

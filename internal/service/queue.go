@@ -49,6 +49,23 @@ func (q *jobQueue) push(j *job) error {
 	return nil
 }
 
+// forcePush enqueues j even beyond the depth bound. It exists for WAL
+// recovery only: jobs the previous process acknowledged were already
+// admitted under the bound once, and dropping them on restart would
+// turn a crash into acknowledged-job loss.
+func (q *jobQueue) forcePush(j *job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errDraining
+	}
+	j.seq = q.seq
+	q.seq++
+	heap.Push(&q.items, j)
+	q.cond.Signal()
+	return nil
+}
+
 // pop blocks for the next job; ok is false when the queue is closed
 // and fully drained.
 func (q *jobQueue) pop() (j *job, ok bool) {

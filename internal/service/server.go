@@ -30,6 +30,7 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -80,6 +81,19 @@ type Config struct {
 	// JournalPath, when non-empty, is where shutdown persists the
 	// result cache and startup warms it from.
 	JournalPath string
+	// WALPath, when non-empty, enables the job WAL: every accepted job
+	// is fsynced to this ledger before it is acknowledged, and a
+	// restarted daemon replays unfinished entries back onto its queue —
+	// the zero-acknowledged-job-loss guarantee the soak drill asserts.
+	WALPath string
+	// Tenant is the per-tenant admission policy (zero value: no
+	// per-tenant limits).
+	Tenant TenantConfig
+	// Brownout tunes graceful degradation under queue pressure.
+	Brownout BrownoutConfig
+	// Watchdog tunes the stalled-job watchdog and the resilience
+	// loop's tick.
+	Watchdog WatchdogConfig
 	// DrainTimeout bounds how long Shutdown waits for in-flight jobs
 	// before cancelling them gracefully (default 30s).
 	DrainTimeout time.Duration
@@ -107,6 +121,9 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 30 * time.Second
 	}
+	c.Tenant = c.Tenant.withDefaults()
+	c.Brownout = c.Brownout.withDefaults()
+	c.Watchdog = c.Watchdog.withDefaults()
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -116,12 +133,21 @@ func (c Config) withDefaults() Config {
 // Server is the daemon: an http.Handler plus the queue, workers,
 // cache, and single-flight index behind it.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	queue *jobQueue
-	cache *Cache
-	gate  *priorityGate
-	start time.Time
+	cfg     Config
+	mux     *http.ServeMux
+	queue   *jobQueue
+	cache   *Cache
+	gate    *priorityGate
+	tenants *tenantAdmission
+	brown   *brownout
+	wal     *jobWAL // nil unless Config.WALPath is set
+	start   time.Time
+
+	// loopStop/loopDone bracket the resilience loop goroutine
+	// (watchdog scans + brownout recovery ticks).
+	loopStop chan struct{}
+	loopDone chan struct{}
+	stopOnce sync.Once
 
 	// runCtx cancels in-flight sweeps (graceful: in-flight cells
 	// finish) when the drain deadline expires.
@@ -145,6 +171,11 @@ type Server struct {
 	// registry snapshot.
 	enqueued, dedupHits, cacheHits atomic.Uint64
 	completed, failed, quarantined atomic.Uint64
+	expired                        atomic.Uint64 // jobs shed or cancelled by deadline
+	panics                         atomic.Uint64 // HTTP handler panics recovered
+	watchdogKills, watchdogScans   atomic.Uint64
+	shedBrownout                   atomic.Uint64 // jobs rejected while browned out
+	eventDrops                     atomic.Uint64 // slow-subscriber event drops
 	simulations                    atomic.Uint64 // runner.RunBatch executions
 	running                        atomic.Int64
 	reg                            *metrics.Registry
@@ -175,19 +206,35 @@ type figureMetrics struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:    cfg,
-		mux:    http.NewServeMux(),
-		queue:  newJobQueue(cfg.QueueDepth),
-		cache:  NewCache(cfg.CacheBytes, cfg.CacheShards),
-		gate:   newPriorityGate(cfg.CellSlots),
-		start:  time.Now(),
-		jobs:   map[string]*job{},
-		active: map[string]*job{},
-		reg:    metrics.NewRegistry(),
-		figs:   map[string]*figureMetrics{},
-		log:    cfg.Logger,
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		queue:    newJobQueue(cfg.QueueDepth),
+		cache:    NewCache(cfg.CacheBytes, cfg.CacheShards),
+		gate:     newPriorityGate(cfg.CellSlots),
+		tenants:  newTenantAdmission(cfg.Tenant),
+		brown:    newBrownout(cfg.Brownout),
+		start:    time.Now(),
+		loopStop: make(chan struct{}),
+		loopDone: make(chan struct{}),
+		jobs:     map[string]*job{},
+		active:   map[string]*job{},
+		reg:      metrics.NewRegistry(),
+		figs:     map[string]*figureMetrics{},
+		log:      cfg.Logger,
 	}
 	s.runCtx, s.cancelRun = context.WithCancel(context.Background())
+
+	// The WAL opens before metrics registration (its counters are
+	// registered) and before workers start (replayed jobs must hit the
+	// queue with their original relative order intact).
+	var pending []walRecord
+	if cfg.WALPath != "" {
+		wal, p, err := openWAL(cfg.WALPath)
+		if err != nil {
+			return nil, err
+		}
+		s.wal, pending = wal, p
+	}
 	s.registerMetrics()
 
 	if cfg.JournalPath != "" {
@@ -195,6 +242,7 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	s.replayWAL(pending)
 
 	s.mux.HandleFunc("POST /v1/jobs", s.handleEnqueue)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
@@ -209,7 +257,42 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	go s.resilienceLoop()
 	return s, nil
+}
+
+// replayWAL re-admits the previous process's acknowledged-but-
+// unfinished jobs under their original ids. A pending record whose key
+// is already active coalesces (its id is aliased to the surviving job
+// and retired from the ledger); one whose result is meanwhile cached
+// completes instantly. Replay bypasses admission limits — these jobs
+// were admitted once already, and shedding them here would be exactly
+// the acknowledged-job loss the WAL exists to prevent.
+func (s *Server) replayWAL(pending []walRecord) {
+	maxSeq := uint64(0)
+	for _, rec := range pending {
+		var n uint64
+		if _, err := fmt.Sscanf(rec.ID, "job-%d", &n); err == nil && n > maxSeq {
+			maxSeq = n
+		}
+	}
+	// New ids must not collide with recovered ones.
+	if maxSeq > s.jobSeq.Load() {
+		s.jobSeq.Store(maxSeq)
+	}
+	for _, rec := range pending {
+		adm := admitContext{tenant: rec.Tenant, recoveredID: rec.ID}
+		if rec.DeadlineAt != nil {
+			adm.deadline = *rec.DeadlineAt
+		}
+		if _, _, err := s.enqueue(*rec.Req, "wal-replay", adm); err != nil {
+			// Only a request the current build no longer understands can
+			// fail here; surfacing it as a lost job would be wrong, so
+			// log it and retire the record.
+			s.log.Error("wal replay rejected", "job", rec.ID, "err", err.Error())
+			s.wal.appendDone(rec.ID)
+		}
+	}
 }
 
 // reqInfo identifies one HTTP request for the access log and for
@@ -228,14 +311,25 @@ func requestInfo(ctx context.Context) reqInfo {
 
 // statusWriter captures the response status for the access log while
 // passing streaming flushes through (the NDJSON events endpoint).
+// wrote tracks whether anything reached the wire, which is what decides
+// whether a recovered panic can still be turned into a clean 500.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
-	w.status = code
+	if !w.wrote {
+		w.status = code
+	}
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
 }
 
 func (w *statusWriter) Flush() {
@@ -244,24 +338,48 @@ func (w *statusWriter) Flush() {
 	}
 }
 
+// Unwrap lets http.ResponseController reach the underlying writer's
+// deadline controls through this wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // ServeHTTP tags every request with an id, dispatches it, and writes
 // one structured access-log line: method, path, status, duration, and
 // cache disposition (for endpoints that set X-Cache).
+//
+// It is also the daemon's panic boundary: a panicking handler is
+// recovered into a 500 carrying the request id (when nothing has been
+// written yet), counted on http.panics, and logged with its stack —
+// one bad request must not take down a daemon holding a warm cache and
+// a queue of other tenants' work.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	ri := reqInfo{id: fmt.Sprintf("req-%06d", s.reqSeq.Add(1)), start: time.Now()}
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Add(1)
+			s.log.Error("handler panic",
+				"request_id", ri.id, "method", r.Method, "path", r.URL.Path,
+				"panic", fmt.Sprint(p), "stack", string(debug.Stack()))
+			if !sw.wrote {
+				writeJSON(sw, http.StatusInternalServerError,
+					map[string]string{"error": "internal server error", "request_id": ri.id})
+			}
+		}
+		// Logged from the deferred path so panicking requests still get
+		// their access-log line.
+		attrs := []any{
+			"request_id", ri.id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"duration_ms", float64(time.Since(ri.start).Microseconds()) / 1000,
+		}
+		if cache := sw.Header().Get("X-Cache"); cache != "" {
+			attrs = append(attrs, "cache", cache)
+		}
+		s.log.Info("request", attrs...)
+	}()
 	s.mux.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, ri)))
-	attrs := []any{
-		"request_id", ri.id,
-		"method", r.Method,
-		"path", r.URL.Path,
-		"status", sw.status,
-		"duration_ms", float64(time.Since(ri.start).Microseconds()) / 1000,
-	}
-	if cache := sw.Header().Get("X-Cache"); cache != "" {
-		attrs = append(attrs, "cache", cache)
-	}
-	s.log.Info("request", attrs...)
 }
 
 // registerMetrics binds the daemon's observability state onto its
@@ -285,8 +403,42 @@ func (s *Server) registerMetrics() {
 	j.CounterFunc("completed", s.completed.Load)
 	j.CounterFunc("failed", s.failed.Load)
 	j.CounterFunc("quarantined", s.quarantined.Load)
+	j.CounterFunc("expired", s.expired.Load)
 
 	root.CounterFunc("simulations", s.simulations.Load)
+
+	adm := root.Sub("admission")
+	adm.CounterFunc("shed_rate", s.tenants.shedRate.Load)
+	adm.CounterFunc("shed_in_flight", s.tenants.shedInFlight.Load)
+	adm.CounterFunc("shed_brownout", s.shedBrownout.Load)
+	adm.GaugeFunc("tenants", func() float64 { return float64(s.tenants.count()) })
+
+	b := root.Sub("brownout")
+	b.GaugeFunc("engaged", func() float64 {
+		if s.brown.isEngaged() {
+			return 1
+		}
+		return 0
+	})
+	b.CounterFunc("engagements", s.brown.engagements.Load)
+	b.CounterFunc("degraded", s.brown.degraded.Load)
+	b.CounterFunc("shed", s.brown.shed.Load)
+
+	wd := root.Sub("watchdog")
+	wd.CounterFunc("kills", s.watchdogKills.Load)
+	wd.CounterFunc("scans", s.watchdogScans.Load)
+
+	root.Sub("http").CounterFunc("panics", s.panics.Load)
+	root.Sub("events").CounterFunc("dropped", s.eventDrops.Load)
+
+	if s.wal != nil {
+		w := root.Sub("wal")
+		w.CounterFunc("accepts", s.wal.accepts.Load)
+		w.CounterFunc("dones", s.wal.dones.Load)
+		w.CounterFunc("errors", s.wal.ioErrs.Load)
+		w.CounterFunc("recovered", func() uint64 { return s.wal.recovered })
+		w.CounterFunc("torn_lines", func() uint64 { return s.wal.torn })
+	}
 
 	c := root.Sub("cache")
 	c.CounterFunc("hits", func() uint64 { return s.cache.Stats().Hits })
@@ -398,6 +550,7 @@ func (s *Server) persistCache() error {
 // journal. It returns nil when everything drained and persisted.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	s.stopOnce.Do(func() { close(s.loopStop) })
 	s.queue.close()
 
 	done := make(chan struct{})
@@ -414,11 +567,20 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 	}
 	s.cancelRun()
+	<-s.loopDone
 
-	if s.cfg.JournalPath != "" {
-		return s.persistCache()
+	var errs []error
+	if s.wal != nil {
+		if err := s.wal.close(); err != nil {
+			errs = append(errs, err)
+		}
 	}
-	return nil
+	if s.cfg.JournalPath != "" {
+		if err := s.persistCache(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // worker executes jobs until the queue closes and drains.
@@ -502,6 +664,17 @@ func (s *Server) cellRunner(j *job) harness.CellRunner {
 func (s *Server) execute(j *job) {
 	s.running.Add(1)
 	defer s.running.Add(-1)
+
+	// A job whose deadline lapsed while it sat queued is shed before it
+	// burns a worker: the typed expiry is its terminal answer.
+	if j.pastDeadline() {
+		s.expired.Add(1)
+		j.tl.Instant(tlPidService, tlTidJob, "deadline-expired", j.sinceUS())
+		s.finishJob(j, JobExpired, nil, nil,
+			fmt.Errorf("service: deadline expired after %s in queue: %w",
+				time.Since(j.created).Round(time.Millisecond), context.DeadlineExceeded), false)
+		return
+	}
 	j.setRunning()
 	t0 := time.Now()
 
@@ -520,8 +693,30 @@ func (s *Server) execute(j *job) {
 	}
 	runStart := j.sinceUS()
 
+	// Per-job cancellation: the soft context (a child of the daemon's
+	// drain context) lets in-flight cells finish; the hard context
+	// aborts them at the next engine checkpoint and interrupts chaos
+	// stalls. The job's deadline bounds both; the watchdog fires both
+	// through j.kill.
+	var softCtx, hardCtx context.Context
+	var softCancel, hardCancel context.CancelFunc
+	if j.deadline.IsZero() {
+		softCtx, softCancel = context.WithCancel(s.runCtx)
+		hardCtx, hardCancel = context.WithCancel(context.Background())
+	} else {
+		softCtx, softCancel = context.WithDeadline(s.runCtx, j.deadline)
+		hardCtx, hardCancel = context.WithDeadline(context.Background(), j.deadline)
+	}
+	j.arm(softCancel, hardCancel)
+	defer func() {
+		j.disarm()
+		softCancel()
+		hardCancel()
+	}()
+
 	p := j.params
-	p.Ctx = s.runCtx
+	p.Ctx = softCtx
+	p.HardCtx = hardCtx
 	p.CellRunner = s.cellRunner(j)
 
 	var body []byte
@@ -558,6 +753,23 @@ func (s *Server) execute(j *job) {
 		Arg1Name: "quarantined", Arg1: int64(len(failures)),
 		StrName: "req", Str: j.reqID})
 	switch {
+	case j.killed() != nil:
+		// The watchdog's verdict wins the classification: whatever error
+		// the cancellation produced downstream, the story is the kill.
+		s.failed.Add(1)
+		s.finishJob(j, JobFailed, nil, failures, j.killed(), false)
+	case (err != nil || len(failures) > 0) && j.pastDeadline():
+		// The deadline elapsed mid-run and the cancellation unwound the
+		// sweep — either as a batch-level error or as per-cell failures
+		// (a single-cell job surfaces its interrupted cell that way);
+		// classify as expired, not failed.
+		s.expired.Add(1)
+		j.tl.Instant(tlPidService, tlTidJob, "deadline-expired", j.sinceUS())
+		if err == nil {
+			err = context.DeadlineExceeded
+		}
+		s.finishJob(j, JobExpired, nil, failures,
+			fmt.Errorf("service: deadline expired mid-run: %w", err), false)
 	case err != nil:
 		s.failed.Add(1)
 		s.finishJob(j, JobFailed, nil, nil, err, false)
@@ -578,8 +790,9 @@ func (s *Server) execute(j *job) {
 		"cells", st.CellsDone, "duration_ms", float64(time.Since(t0).Microseconds())/1000)
 }
 
-// finishJob moves j to a terminal state and clears its single-flight
-// registration, enforcing the finished-job retention bound.
+// finishJob moves j to a terminal state, clears its single-flight
+// registration (enforcing the finished-job retention bound), returns
+// its tenant's in-flight slot, and retires its WAL record.
 func (s *Server) finishJob(j *job, state JobState, body []byte, failures []*runner.CellError, err error, cacheHit bool) {
 	s.jobsMu.Lock()
 	if s.active[j.key] == j {
@@ -592,6 +805,13 @@ func (s *Server) finishJob(j *job, state JobState, body []byte, failures []*runn
 	}
 	s.jobsMu.Unlock()
 	j.finish(state, body, failures, err, cacheHit)
+	s.releaseTenantHold(j)
+	j.mu.Lock()
+	walAccepted := j.walAccepted
+	j.mu.Unlock()
+	if walAccepted && s.wal != nil {
+		s.wal.appendDone(j.id)
+	}
 }
 
 // observeLatency records one job execution in the figure's histogram
@@ -669,16 +889,30 @@ func validateCell(c *CellSpec) error {
 	return fmt.Errorf("unknown bundle %q (want one of %v)", c.Bundle, harness.BundleNames())
 }
 
+// admitContext carries enqueue's admission inputs: who is asking
+// (tenant), any absolute deadline already computed, and — for WAL
+// replay only — the original job id to preserve (which also bypasses
+// admission limits and queue depth; see replayWAL).
+type admitContext struct {
+	tenant      string
+	deadline    time.Time
+	recoveredID string
+}
+
 // enqueue resolves a request to a job: a coalesced in-flight job
 // (single-flight), an instantly-done job on cache hit, or a freshly
 // queued one. deduped reports coalescing. rid is the id of the HTTP
 // request asking, recorded on a fresh job for timeline correlation.
-func (s *Server) enqueue(req Request, rid string) (j *job, deduped bool, err error) {
-	if s.draining.Load() {
+func (s *Server) enqueue(req Request, rid string, adm admitContext) (j *job, deduped bool, err error) {
+	recovered := adm.recoveredID != ""
+	if s.draining.Load() && !recovered {
 		return nil, false, errDraining
 	}
 	if (req.Figure == "") == (req.Cell == nil) {
 		return nil, false, errors.New("request needs exactly one of figure or cell")
+	}
+	if req.DeadlineMS < 0 {
+		return nil, false, errors.New("deadline_ms must be positive")
 	}
 	figure := "cell"
 	if req.Cell != nil {
@@ -700,15 +934,32 @@ func (s *Server) enqueue(req Request, rid string) (j *job, deduped bool, err err
 	}
 	key := requestKey(figure, req.Cell, params)
 
+	// Every enqueue feeds the brownout controller, so the mode engages
+	// the moment pressure crosses the threshold, not a tick later.
+	s.brown.evaluate(s.queue.len(), s.cfg.QueueDepth)
+
 	s.jobsMu.Lock()
 	defer s.jobsMu.Unlock()
 	if existing := s.active[key]; existing != nil {
 		existing.addDeduped()
 		s.dedupHits.Add(1)
+		if recovered {
+			// The replayed job's twin is already in flight; alias the
+			// recovered id to it and retire the ledger record.
+			s.jobs[adm.recoveredID] = existing
+			s.wal.appendDone(adm.recoveredID)
+		}
 		return existing, true, nil
 	}
 
-	id := fmt.Sprintf("job-%06d", s.jobSeq.Add(1))
+	deadline := adm.deadline
+	if deadline.IsZero() && req.DeadlineMS > 0 {
+		deadline = time.Now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+	}
+	id := adm.recoveredID
+	if id == "" {
+		id = fmt.Sprintf("job-%06d", s.jobSeq.Add(1))
+	}
 	j = &job{
 		id:       id,
 		key:      key,
@@ -717,15 +968,20 @@ func (s *Server) enqueue(req Request, rid string) (j *job, deduped bool, err err
 		params:   params,
 		priority: req.Priority,
 		created:  time.Now(),
+		tenant:   adm.tenant,
+		deadline: deadline,
 		hub:      newEventHub(),
 		done:     make(chan struct{}),
 		state:    JobQueued,
 		tl:       newJobTimeline(id),
 		reqID:    rid,
 	}
+	j.hub.drops = &s.eventDrops
 	s.enqueued.Add(1)
 
-	// Already computed: answer without a queue trip.
+	// Already computed: answer without a queue trip. No WAL record is
+	// needed — the result is handed back synchronously in the same
+	// exchange that acknowledges the job.
 	if body, ok := s.cache.Get(key); ok {
 		s.cacheHits.Add(1)
 		j.tl.Instant(tlPidService, tlTidJob, "cache-hit", j.sinceUS())
@@ -737,17 +993,80 @@ func (s *Server) enqueue(req Request, rid string) (j *job, deduped bool, err err
 		}
 		j.finish(JobDone, body, nil, nil, true)
 		s.completed.Add(1)
+		if recovered {
+			s.wal.appendDone(j.id)
+		}
 		return j, false, nil
 	}
 
-	if err := s.queue.push(j); err != nil {
-		return nil, false, err
+	// Fresh simulation work from here on: brownout shedding and the
+	// per-tenant in-flight budget apply (coalescing and cache hits
+	// above cost nothing and always pass). Replay bypasses both.
+	// walAccepted is set before the push makes j visible to workers, so
+	// a fast finish cannot race past the done-record bookkeeping.
+	j.walAccepted = s.wal != nil
+	if !recovered {
+		if s.brown.shouldShed(req.Priority, params.Mode == harness.ModeApprox) {
+			s.brown.shed.Add(1)
+			s.shedBrownout.Add(1)
+			return nil, false, &admissionError{
+				tenant: adm.tenant, reason: "brownout", retryAfter: s.retryAfterSeconds(),
+			}
+		}
+		if err := s.tenants.admitInFlight(adm.tenant); err != nil {
+			return nil, false, err
+		}
+		j.tenantHeld = true
+		// Acknowledgement barrier: the accept record is fsynced before
+		// this job's id escapes to the client (enqueue returns only
+		// after appendAccept). A WAL write failure degrades durability,
+		// not service — it is logged and counted (wal.errors), and the
+		// job still runs.
+		if s.wal != nil {
+			rec := walRecord{ID: j.id, Tenant: j.tenant, Req: &j.req}
+			if !deadline.IsZero() {
+				rec.DeadlineAt = &deadline
+			}
+			if err := s.wal.appendAccept(rec); err != nil {
+				s.log.Error("wal append failed", "job", j.id, "err", err.Error())
+			}
+		}
+		if err := s.queue.push(j); err != nil {
+			s.releaseTenantHold(j)
+			if s.wal != nil {
+				// Never acknowledged (the caller gets the push error), so
+				// retire the accept record rather than replaying a ghost.
+				s.wal.appendDone(j.id)
+			}
+			return nil, false, err
+		}
+	} else {
+		s.tenants.hold(adm.tenant)
+		j.tenantHeld = true
+		if err := s.queue.forcePush(j); err != nil {
+			s.releaseTenantHold(j)
+			return nil, false, err
+		}
 	}
+
 	j.tl.Instant(tlPidService, tlTidJob, "cache-miss", j.sinceUS())
 	s.jobs[j.id] = j
 	s.active[key] = j
 	j.hub.publish(map[string]any{"event": "state", "job": j.id, "state": JobQueued})
 	return j, false, nil
+}
+
+// releaseTenantHold returns j's in-flight slot to its tenant, exactly
+// once no matter how many paths observe the job finishing.
+func (s *Server) releaseTenantHold(j *job) {
+	j.mu.Lock()
+	held := j.tenantHeld
+	j.tenantHeld = false
+	tenant := j.tenant
+	j.mu.Unlock()
+	if held {
+		s.tenants.release(tenant)
+	}
 }
 
 func (s *Server) getJob(id string) *job {
@@ -810,11 +1129,36 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-func (s *Server) writeEnqueueError(w http.ResponseWriter, err error) {
+// writeEnqueueError maps an admission or validation failure onto the
+// wire. Every rejection that a client should retry carries a
+// structured body — which tenant hit which limit, and when to come
+// back — so load generators and SDKs can distinguish "queue is full"
+// from "you personally are over budget" from "the daemon is browned
+// out" without parsing prose.
+func (s *Server) writeEnqueueError(w http.ResponseWriter, err error, tenant string) {
+	var ae *admissionError
 	switch {
+	case errors.As(err, &ae):
+		retry := ae.retryAfter
+		if retry < 1 {
+			retry = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error":         err.Error(),
+			"tenant":        ae.tenant,
+			"reason":        ae.reason,
+			"retry_after_s": retry,
+		})
 	case errors.Is(err, errQueueFull):
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-		writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
+		retry := s.retryAfterSeconds()
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error":         err.Error(),
+			"tenant":        tenant,
+			"reason":        "queue_full",
+			"retry_after_s": retry,
+		})
 	case errors.Is(err, errDraining):
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
 	default:
@@ -824,6 +1168,11 @@ func (s *Server) writeEnqueueError(w http.ResponseWriter, err error) {
 
 // handleEnqueue is POST /v1/jobs.
 func (s *Server) handleEnqueue(w http.ResponseWriter, r *http.Request) {
+	tenant := tenantOf(r)
+	if err := s.tenants.admitRate(tenant); err != nil {
+		s.writeEnqueueError(w, err, tenant)
+		return
+	}
 	var req Request
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -832,9 +1181,9 @@ func (s *Server) handleEnqueue(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ri := requestInfo(r.Context())
-	j, deduped, err := s.enqueue(req, ri.id)
+	j, deduped, err := s.enqueue(req, ri.id, admitContext{tenant: tenant})
 	if err != nil {
-		s.writeEnqueueError(w, err)
+		s.writeEnqueueError(w, err, tenant)
 		return
 	}
 	recordRequestSpan(j, ri, "POST /v1/jobs", deduped)
@@ -886,8 +1235,18 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.snapshot())
 }
 
+// eventWriteTimeout bounds each NDJSON write to a streaming
+// subscriber: a client that accepts the connection but stops reading
+// gets its stream torn down once the socket buffer fills, instead of
+// parking a handler goroutine (and its subscription) forever.
+const eventWriteTimeout = 15 * time.Second
+
 // handleJobEvents is GET /v1/jobs/{id}/events: NDJSON progress,
-// replaying history then streaming live until the job finishes.
+// replaying history then streaming live until the job finishes. Slow
+// and gone consumers both release their resources: each write carries
+// a deadline (see eventWriteTimeout), a disconnect cancels the
+// request context, and either way the deferred cancel detaches the
+// hub subscription.
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	j := s.getJob(r.PathValue("id"))
 	if j == nil {
@@ -897,12 +1256,25 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
+	// Writers that cannot set deadlines (test recorders) just skip the
+	// slow-consumer bound; the disconnect path still applies.
+	defer rc.SetWriteDeadline(time.Time{})
+	writeLine := func(line []byte) bool {
+		rc.SetWriteDeadline(time.Now().Add(eventWriteTimeout))
+		if _, err := w.Write(line); err != nil {
+			return false
+		}
+		_, err := w.Write([]byte("\n"))
+		return err == nil
+	}
 
 	replay, events, cancel := j.hub.subscribe()
 	defer cancel()
 	for _, line := range replay {
-		w.Write(line)
-		w.Write([]byte("\n"))
+		if !writeLine(line) {
+			return
+		}
 	}
 	if flusher != nil {
 		flusher.Flush()
@@ -913,8 +1285,9 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 			if !ok {
 				return
 			}
-			w.Write(line)
-			w.Write([]byte("\n"))
+			if !writeLine(line) {
+				return
+			}
 			if flusher != nil {
 				flusher.Flush()
 			}
@@ -935,8 +1308,24 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 // the job id returned in X-Refsched-Exact-Job — finds it computed and
 // cached. The default (and ?fidelity=exact) serves the exact result
 // with "X-Fidelity: exact".
+//
+// While the daemon is browned out, a request that did not pin a
+// fidelity is automatically downgraded to the approx tier and answered
+// in milliseconds, marked "X-Fidelity: approx" plus "Degraded: true";
+// no background exact sweep is enqueued (that would feed the very
+// queue pressure brownout is shedding). An explicit ?fidelity=exact is
+// always honored.
+//
+// ?timeout_ms bounds the synchronous wait: past it the request gets a
+// 504 carrying the job id, while the job itself keeps running and
+// warming the cache for a later poll.
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	tenant := tenantOf(r)
+	if err := s.tenants.admitRate(tenant); err != nil {
+		s.writeEnqueueError(w, err, tenant)
+		return
+	}
 	priority := 10 // interactive requests outrank default batch jobs
 	if pstr := r.URL.Query().Get("priority"); pstr != "" {
 		p, err := strconv.Atoi(pstr)
@@ -946,10 +1335,31 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		}
 		priority = p
 	}
+	var timeout <-chan time.Time
+	if tstr := r.URL.Query().Get("timeout_ms"); tstr != "" {
+		ms, err := strconv.Atoi(tstr)
+		if err != nil || ms <= 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad timeout_ms"})
+			return
+		}
+		t := time.NewTimer(time.Duration(ms) * time.Millisecond)
+		defer t.Stop()
+		timeout = t.C
+	}
 	fidelity := r.URL.Query().Get("fidelity")
+	degraded := false
 	switch fidelity {
-	case "", harness.ModeExact:
+	case "":
 		fidelity = harness.ModeExact
+		if s.brown.isEngaged() {
+			// Graceful degradation: answer from the analytical tier
+			// instead of joining an already-deep queue. Every figure
+			// target is approx-servable (see TestApproxCoversAllFigures).
+			fidelity = harness.ModeApprox
+			degraded = true
+			s.brown.degraded.Add(1)
+		}
+	case harness.ModeExact:
 	case harness.ModeApprox:
 	default:
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad fidelity (want exact or approx)"})
@@ -960,20 +1370,34 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	if fidelity == harness.ModeApprox {
 		mode := harness.ModeApprox
 		req.Params = &ParamOverrides{Mode: &mode}
-		// Kick the exact sweep off behind the fast answer. Enqueue
-		// failures (queue full, draining) only cost the warm-up: the
-		// approx response below still succeeds.
-		if ej, _, err := s.enqueue(Request{Figure: name}, ri.id); err == nil {
-			w.Header().Set("X-Refsched-Exact-Job", ej.id)
+		// Kick the exact sweep off behind the fast answer — unless this
+		// response is already a brownout downgrade, in which case
+		// enqueueing exact work would feed the overload being shed.
+		// Enqueue failures (queue full, draining) only cost the
+		// warm-up: the approx response below still succeeds.
+		if !degraded {
+			if ej, _, err := s.enqueue(Request{Figure: name}, ri.id, admitContext{tenant: tenant}); err == nil {
+				w.Header().Set("X-Refsched-Exact-Job", ej.id)
+			}
 		}
 	}
-	j, deduped, err := s.enqueue(req, ri.id)
+	j, deduped, err := s.enqueue(req, ri.id, admitContext{tenant: tenant})
 	if err != nil {
-		s.writeEnqueueError(w, err)
+		s.writeEnqueueError(w, err, tenant)
 		return
+	}
+	if degraded {
+		j.tl.Instant(tlPidService, tlTidJob, "brownout-degraded", j.sinceUS())
 	}
 	select {
 	case <-j.done:
+	case <-timeout:
+		// The wait bound fired first; the job still completes and warms
+		// the cache, and the client can poll it by id.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeJSON(w, http.StatusGatewayTimeout, map[string]string{
+			"error": "figure not ready within timeout_ms", "job": j.id})
+		return
 	case <-r.Context().Done():
 		// Client gave up; the job still completes and warms the cache.
 		return
@@ -983,6 +1407,9 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	recordRequestSpan(j, ri, "GET /v1/figures/"+name, deduped)
 	state, body, jerr := j.result()
 	st := j.snapshot()
+	if degraded {
+		w.Header().Set("Degraded", "true")
+	}
 	switch state {
 	case JobDone:
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -998,6 +1425,9 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Fidelity", fidelity)
 		w.Header().Set("X-Refsched-Quarantined", strconv.Itoa(len(st.Quarantined)))
 		w.Write(body)
+	case JobExpired:
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeJSON(w, http.StatusGatewayTimeout, map[string]string{"error": jerr.Error(), "job": j.id})
 	default:
 		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": jerr.Error()})
 	}
@@ -1062,7 +1492,22 @@ type Stats struct {
 		Completed   uint64 `json:"completed"`
 		Failed      uint64 `json:"failed"`
 		Quarantined uint64 `json:"quarantined"`
+		Expired     uint64 `json:"expired"`
 	} `json:"jobs"`
+	// Resilience is the overload-control surface: admission sheds,
+	// brownout state, watchdog activity, and recovered panics.
+	Resilience struct {
+		ShedRate            uint64 `json:"shed_rate"`
+		ShedInFlight        uint64 `json:"shed_in_flight"`
+		ShedBrownout        uint64 `json:"shed_brownout"`
+		Tenants             int    `json:"tenants"`
+		BrownoutEngaged     bool   `json:"brownout_engaged"`
+		BrownoutEngagements uint64 `json:"brownout_engagements"`
+		BrownoutDegraded    uint64 `json:"brownout_degraded"`
+		WatchdogKills       uint64 `json:"watchdog_kills"`
+		HTTPPanics          uint64 `json:"http_panics"`
+		EventsDropped       uint64 `json:"events_dropped"`
+	} `json:"resilience"`
 	Simulations uint64                  `json:"simulations"`
 	Cache       CacheStats              `json:"cache"`
 	Figures     map[string]LatencyStats `json:"figures"`
@@ -1102,6 +1547,17 @@ func projectStats(snap metrics.Snapshot) Stats {
 	st.Jobs.Completed = snap.Counter("jobs.completed")
 	st.Jobs.Failed = snap.Counter("jobs.failed")
 	st.Jobs.Quarantined = snap.Counter("jobs.quarantined")
+	st.Jobs.Expired = snap.Counter("jobs.expired")
+	st.Resilience.ShedRate = snap.Counter("admission.shed_rate")
+	st.Resilience.ShedInFlight = snap.Counter("admission.shed_in_flight")
+	st.Resilience.ShedBrownout = snap.Counter("admission.shed_brownout")
+	st.Resilience.Tenants = int(snap.Gauge("admission.tenants"))
+	st.Resilience.BrownoutEngaged = snap.Gauge("brownout.engaged") > 0
+	st.Resilience.BrownoutEngagements = snap.Counter("brownout.engagements")
+	st.Resilience.BrownoutDegraded = snap.Counter("brownout.degraded")
+	st.Resilience.WatchdogKills = snap.Counter("watchdog.kills")
+	st.Resilience.HTTPPanics = snap.Counter("http.panics")
+	st.Resilience.EventsDropped = snap.Counter("events.dropped")
 	st.Simulations = snap.Counter("simulations")
 	st.Cache = CacheStats{
 		Hits:      snap.Counter("cache.hits"),

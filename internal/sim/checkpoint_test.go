@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestCheckpointCancelsRun: a checkpoint returning an error unwinds
+// RunUntil as a typed *CancelFault carrying the cause, leaving the
+// engine stopped at the firing cycle rather than fast-forwarded.
+func TestCheckpointCancelsRun(t *testing.T) {
+	e := NewEngine()
+	// A self-rescheduling tick keeps the clock advancing one cycle at
+	// a time for as long as the run lasts.
+	var tick func()
+	tick = func() { e.Schedule(1, tick) }
+	e.Schedule(1, tick)
+
+	cause := errors.New("deadline exceeded")
+	calls := 0
+	e.SetCheckpoint(100, func() error {
+		calls++
+		if calls == 3 {
+			return cause
+		}
+		return nil
+	})
+
+	var f *CancelFault
+	func() {
+		defer func() {
+			p := recover()
+			if p == nil {
+				t.Fatal("RunUntil finished despite a failing checkpoint")
+			}
+			var ok bool
+			f, ok = p.(*CancelFault)
+			if !ok {
+				t.Fatalf("panic value = %T %v, want *CancelFault", p, p)
+			}
+		}()
+		e.RunUntil(10_000)
+	}()
+
+	if !errors.Is(f, cause) {
+		t.Errorf("CancelFault does not unwrap to the checkpoint error: %v", f)
+	}
+	var marker Fault = f
+	_ = marker // *CancelFault must implement sim.Fault (compile-time check)
+	if f.Now == 0 || f.Now > 10_000 {
+		t.Errorf("CancelFault.Now = %d, want within the run", f.Now)
+	}
+	if e.Now() != f.Now {
+		t.Errorf("engine clock = %d, want stopped at the fault cycle %d", e.Now(), f.Now)
+	}
+}
+
+// TestCheckpointInterval: the hook fires at most once per interval
+// cycles of clock advance, and removing it (nil fn) stops all calls.
+func TestCheckpointInterval(t *testing.T) {
+	e := NewEngine()
+	var tick func()
+	tick = func() { e.Schedule(1, tick) }
+	e.Schedule(1, tick)
+
+	calls := 0
+	e.SetCheckpoint(1000, func() error { calls++; return nil })
+	e.RunUntil(10_000)
+	if calls == 0 || calls > 10 {
+		t.Errorf("checkpoint fired %d times over 10k cycles at interval 1000, want 1..10", calls)
+	}
+
+	e.SetCheckpoint(0, nil)
+	before := calls
+	e.RunUntil(20_000)
+	if calls != before {
+		t.Errorf("checkpoint fired %d more times after removal", calls-before)
+	}
+}

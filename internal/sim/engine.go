@@ -93,6 +93,15 @@ type Engine struct {
 
 	par *parallel // non-nil once EnableParallel has been called
 
+	// Cooperative cancellation checkpoint (see SetCheckpoint): check is
+	// consulted at most once per checkInterval cycles of clock advance,
+	// so a cancelled context aborts a long simulation within a bounded
+	// amount of simulated (and therefore wall) time without adding any
+	// per-event cost.
+	check         func() error
+	checkInterval Time
+	nextCheck     Time
+
 	// Executed counts events processed since construction; useful for
 	// progress reporting and runaway detection in tests.
 	Executed uint64
@@ -350,6 +359,28 @@ func (e *Engine) Step() bool {
 	return true
 }
 
+// SetCheckpoint installs a cooperative cancellation hook: RunUntil
+// calls fn at most once per interval cycles of clock advance, and a
+// non-nil return unwinds the event loop as a *CancelFault (a typed
+// sim.Fault, so the core run boundary converts it into an ordinary
+// cell-tagged error instead of crashing the sweep). It is how an
+// external deadline or watchdog aborts a long simulation mid-run: the
+// hot path pays one nil-check per clock advance when no checkpoint is
+// installed, and nothing per event either way. A nil fn removes the
+// checkpoint.
+func (e *Engine) SetCheckpoint(interval Time, fn func() error) {
+	if fn == nil {
+		e.check = nil
+		return
+	}
+	if interval == 0 {
+		interval = 1
+	}
+	e.check = fn
+	e.checkInterval = interval
+	e.nextCheck = e.now + interval
+}
+
 // RunUntil executes events until the clock would pass t, then sets the
 // clock to exactly t. Events scheduled at exactly t are executed.
 //
@@ -387,6 +418,12 @@ func (e *Engine) RunUntil(t Time) {
 				break
 			}
 			e.now = w
+			if e.check != nil && e.now >= e.nextCheck {
+				e.nextCheck = e.now + e.checkInterval
+				if err := e.check(); err != nil {
+					panic(&CancelFault{Now: e.now, Err: err})
+				}
+			}
 			e.drainTo(w)
 		}
 	}
