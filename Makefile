@@ -6,7 +6,7 @@ GO ?= go
 # out of go.mod so the simulator itself stays dependency-free.
 STATICCHECK = $(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1.1
 
-.PHONY: build test short race bench bench-baseline bench-compare serve ci staticcheck regen-output timeline-demo soak soak-short
+.PHONY: build test short race bench bench-baseline bench-compare serve ci staticcheck regen-output timeline-demo soak soak-short cluster-smoke cluster-demo
 
 build:
 	$(GO) build ./...
@@ -51,7 +51,7 @@ ci:
 	$(GO) vet ./...
 	$(MAKE) staticcheck
 	$(GO) test -short ./...
-	$(GO) test -race -timeout 10m ./internal/runner/ ./internal/chaos/ ./internal/journal/ ./internal/sim/ ./internal/service/ ./internal/timeline/ ./cmd/refload/
+	$(GO) test -race -timeout 10m ./internal/runner/ ./internal/chaos/ ./internal/journal/ ./internal/sim/ ./internal/service/ ./internal/timeline/ ./internal/cluster/ ./cmd/refload/
 	$(GO) test -race -timeout 10m -run 'TestChannelParallel' ./internal/core/
 	$(GO) test -count=1 -run 'TestDaemonSmoke' ./cmd/refschedd/
 
@@ -69,6 +69,29 @@ soak:
 
 soak-short:
 	REFSCHED_SOAK=short $(GO) test -count=1 -timeout 10m -run 'TestSoak' ./cmd/refschedd/
+
+# The multi-node drills (see EXPERIMENTS.md "Cluster walkthrough"): a
+# real 3-node cluster over localhost — consistent-hash routing, the
+# cross-shard cache fallback served as a hit through a non-owner, clean
+# SIGTERM drains — plus the degraded-mode acceptance: a fanned-out fig10
+# sweep with one peer SIGKILLed mid-sweep must render byte-identical to
+# a single-node daemon.
+cluster-smoke:
+	$(GO) test -count=1 -timeout 15m -run 'TestClusterSmoke|TestClusterKillNodeByteIdentical' ./cmd/refschedd/
+
+# Run a local 3-node cluster to poke at by hand: three daemons on fixed
+# ports sharing one -peers list, with cell fan-out enabled. Ctrl-C stops
+# all three. Try:
+#   curl -i localhost:8371/v1/figures/fig10   # note X-Refsched-Node
+#   curl -s localhost:8372/statsz | grep -A4 '"cluster"'
+cluster-demo:
+	@trap 'kill 0' INT TERM; \
+	PEERS=a=127.0.0.1:8371,b=127.0.0.1:8372,c=127.0.0.1:8373; \
+	$(GO) build -o /tmp/refschedd-demo ./cmd/refschedd; \
+	/tmp/refschedd-demo -addr 127.0.0.1:8371 -quick -peers $$PEERS -node-id a -fanout 2 & \
+	/tmp/refschedd-demo -addr 127.0.0.1:8372 -quick -peers $$PEERS -node-id b -fanout 2 & \
+	/tmp/refschedd-demo -addr 127.0.0.1:8373 -quick -peers $$PEERS -node-id c -fanout 2 & \
+	wait
 
 # Write the pair of Perfetto timelines EXPERIMENTS.md walks through:
 # the same mix under rotating per-bank refresh (baseline) and under the

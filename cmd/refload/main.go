@@ -63,41 +63,54 @@ type kindStats struct {
 type collector struct {
 	mu    sync.Mutex
 	kinds map[string]*kindStats
-	acked []string
+	// per-target aggregates (all kinds folded together), populated only
+	// when -targets spreads load across multiple endpoints.
+	targets map[string]*kindStats
+	acked   []string
 	// rejections by structured reason ("rate", "brownout", ...).
 	reasons map[string]uint64
 }
 
-func newCollector() *collector {
-	return &collector{kinds: map[string]*kindStats{}, reasons: map[string]uint64{}}
+func newCollector(trackTargets bool) *collector {
+	c := &collector{kinds: map[string]*kindStats{}, reasons: map[string]uint64{}}
+	if trackTargets {
+		c.targets = map[string]*kindStats{}
+	}
+	return c
 }
 
-func (c *collector) kind(name string) *kindStats {
-	k, ok := c.kinds[name]
+func statsIn(m map[string]*kindStats, name string) *kindStats {
+	k, ok := m[name]
 	if !ok {
 		k = &kindStats{lat: stats.NewHistogram(latWidthUS, latBuckets)}
-		c.kinds[name] = k
+		m[name] = k
 	}
 	return k
 }
 
-func (c *collector) observe(name string, d time.Duration, status int, transportErr bool, reason string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	k := c.kind(name)
+func (k *kindStats) observe(d time.Duration, status int, transportErr bool) {
 	switch {
 	case transportErr:
 		k.transport++
 	case status == http.StatusTooManyRequests:
 		k.rejected++
-		if reason != "" {
-			c.reasons[reason]++
-		}
 	case status >= http.StatusBadRequest:
 		k.failed++
 	default:
 		k.ok++
 		k.lat.Add(uint64(d.Microseconds()))
+	}
+}
+
+func (c *collector) observe(name, target string, d time.Duration, status int, transportErr bool, reason string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	statsIn(c.kinds, name).observe(d, status, transportErr)
+	if c.targets != nil {
+		statsIn(c.targets, target).observe(d, status, transportErr)
+	}
+	if !transportErr && status == http.StatusTooManyRequests && reason != "" {
+		c.reasons[reason]++
 	}
 }
 
@@ -121,12 +134,33 @@ type KindSummary struct {
 
 // Summary is refload's JSON report.
 type Summary struct {
-	DurationS   float64                `json:"duration_s"`
-	Requests    uint64                 `json:"requests"`
-	Acked       int                    `json:"acked_jobs"`
-	Kinds       map[string]KindSummary `json:"kinds"`
+	DurationS float64                `json:"duration_s"`
+	Requests  uint64                 `json:"requests"`
+	Acked     int                    `json:"acked_jobs"`
+	Kinds     map[string]KindSummary `json:"kinds"`
+	// Targets breaks latency down per endpoint; present only when
+	// -targets round-robins across a cluster.
+	Targets     map[string]KindSummary `json:"targets,omitempty"`
 	Rejections  map[string]uint64      `json:"rejections_by_reason"`
 	DaemonStats json.RawMessage        `json:"daemon_stats,omitempty"`
+}
+
+func summarizeKinds(m map[string]*kindStats, requests *uint64) map[string]KindSummary {
+	ms := func(us uint64) float64 { return float64(us) / 1000 }
+	out := make(map[string]KindSummary, len(m))
+	for name, k := range m {
+		if requests != nil {
+			*requests += k.ok + k.rejected + k.failed + k.transport
+		}
+		out[name] = KindSummary{
+			OK: k.ok, Rejected: k.rejected, Failed: k.failed, Transport: k.transport,
+			P50MS:  ms(k.lat.Percentile(50)),
+			P99MS:  ms(k.lat.Percentile(99)),
+			P999MS: ms(k.lat.Percentile(99.9)),
+			MaxMS:  ms(k.lat.Max()),
+		}
+	}
+	return out
 }
 
 func (c *collector) summarize(elapsed time.Duration, daemonStats []byte) Summary {
@@ -135,19 +169,11 @@ func (c *collector) summarize(elapsed time.Duration, daemonStats []byte) Summary
 	s := Summary{
 		DurationS:  elapsed.Seconds(),
 		Acked:      len(c.acked),
-		Kinds:      map[string]KindSummary{},
 		Rejections: c.reasons,
 	}
-	ms := func(us uint64) float64 { return float64(us) / 1000 }
-	for name, k := range c.kinds {
-		s.Requests += k.ok + k.rejected + k.failed + k.transport
-		s.Kinds[name] = KindSummary{
-			OK: k.ok, Rejected: k.rejected, Failed: k.failed, Transport: k.transport,
-			P50MS:  ms(k.lat.Percentile(50)),
-			P99MS:  ms(k.lat.Percentile(99)),
-			P999MS: ms(k.lat.Percentile(99.9)),
-			MaxMS:  ms(k.lat.Max()),
-		}
+	s.Kinds = summarizeKinds(c.kinds, &s.Requests)
+	if c.targets != nil {
+		s.Targets = summarizeKinds(c.targets, nil)
 	}
 	if len(daemonStats) > 0 {
 		s.DaemonStats = json.RawMessage(daemonStats)
@@ -198,6 +224,7 @@ func opFor(cfg genConfig, rng *rand.Rand) (method, path string, body []byte, kin
 func main() {
 	var (
 		addr       = flag.String("addr", "127.0.0.1:8372", "refschedd address (host:port)")
+		targetsFlg = flag.String("targets", "", "comma-separated refschedd endpoints to round-robin across (overrides -addr; adds per-target latency to the summary)")
 		n          = flag.Int("n", 5000, "total requests to issue (0 = run for -duration)")
 		duration   = flag.Duration("duration", 0, "stop after this long (0 = run until -n)")
 		conc       = flag.Int("c", 32, "concurrent workers")
@@ -220,8 +247,22 @@ func main() {
 		os.Exit(2)
 	}
 
+	bases := []string{"http://" + *addr}
+	if *targetsFlg != "" {
+		bases = bases[:0]
+		for _, t := range strings.Split(*targetsFlg, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				bases = append(bases, "http://"+t)
+			}
+		}
+		if len(bases) == 0 {
+			fmt.Fprintln(os.Stderr, "refload: -targets names no endpoints")
+			os.Exit(2)
+		}
+	}
+
 	cfg := genConfig{
-		base:       "http://" + *addr,
+		base:       bases[0],
 		tenants:    *tenants,
 		cellFrac:   *cellFrac,
 		approxFrac: *approxFrac,
@@ -234,7 +275,7 @@ func main() {
 		cfg.figures = strings.Split(*figures, ",")
 	}
 
-	col := newCollector()
+	col := newCollector(*targetsFlg != "")
 	client := &http.Client{Timeout: *timeout}
 	var (
 		issued sync.Mutex
@@ -274,7 +315,10 @@ func main() {
 				if *statsEvery > 0 && i%*statsEvery == *statsEvery-1 {
 					method, path, body, kind = http.MethodGet, "/statsz", nil, kindScrape
 				}
-				runOne(client, col, cfg.base, tenant, method, path, body, kind)
+				// Round-robin across targets, offset per worker so the
+				// first requests don't all land on the same node.
+				base := bases[(w+i)%len(bases)]
+				runOne(client, col, base, tenant, method, path, body, kind)
 			}
 		}(w)
 	}
@@ -325,7 +369,7 @@ func runOne(client *http.Client, col *collector, base, tenant, method, path stri
 	}
 	req, err := http.NewRequest(method, base+path, rd)
 	if err != nil {
-		col.observe(kind, 0, 0, true, "")
+		col.observe(kind, base, 0, 0, true, "")
 		return
 	}
 	req.Header.Set("X-Tenant", tenant)
@@ -335,7 +379,7 @@ func runOne(client *http.Client, col *collector, base, tenant, method, path stri
 	t0 := time.Now()
 	resp, err := client.Do(req)
 	if err != nil {
-		col.observe(kind, 0, 0, true, "")
+		col.observe(kind, base, 0, 0, true, "")
 		time.Sleep(200 * time.Millisecond)
 		return
 	}
@@ -351,7 +395,7 @@ func runOne(client *http.Client, col *collector, base, tenant, method, path stri
 		json.Unmarshal(payload, &rej)
 		reason = rej.Reason
 	}
-	col.observe(kind, elapsed, resp.StatusCode, false, reason)
+	col.observe(kind, base, elapsed, resp.StatusCode, false, reason)
 
 	// 202 means a fresh job was queued — with -job-wal, its accept
 	// record is durable before this response exists. 200 (dedup or

@@ -84,14 +84,14 @@ func TestOpForMixAndDeterminism(t *testing.T) {
 // reasons are tallied, and percentiles come out of the histogram in
 // milliseconds.
 func TestCollectorSummary(t *testing.T) {
-	col := newCollector()
+	col := newCollector(false)
 	for i := 0; i < 100; i++ {
-		col.observe(kindEnqueue, 10*time.Millisecond, http.StatusAccepted, false, "")
+		col.observe(kindEnqueue, "http://a", 10*time.Millisecond, http.StatusAccepted, false, "")
 	}
-	col.observe(kindEnqueue, time.Second, http.StatusTooManyRequests, false, "brownout")
-	col.observe(kindEnqueue, time.Second, http.StatusTooManyRequests, false, "rate")
-	col.observe(kindEnqueue, time.Second, http.StatusInternalServerError, false, "")
-	col.observe(kindFigure, 0, 0, true, "")
+	col.observe(kindEnqueue, "http://a", time.Second, http.StatusTooManyRequests, false, "brownout")
+	col.observe(kindEnqueue, "http://a", time.Second, http.StatusTooManyRequests, false, "rate")
+	col.observe(kindEnqueue, "http://a", time.Second, http.StatusInternalServerError, false, "")
+	col.observe(kindFigure, "http://a", 0, 0, true, "")
 	col.ack("job-000001")
 	col.ack("job-000002")
 
@@ -118,5 +118,37 @@ func TestCollectorSummary(t *testing.T) {
 	}
 	if string(sum.DaemonStats) != `{"x":1}` {
 		t.Fatalf("daemon stats = %s", sum.DaemonStats)
+	}
+	if sum.Targets != nil {
+		t.Fatalf("single-target run grew a targets block: %v", sum.Targets)
+	}
+}
+
+// TestCollectorPerTarget: with -targets, outcomes additionally aggregate
+// per endpoint (all kinds folded together) without changing the global
+// request count.
+func TestCollectorPerTarget(t *testing.T) {
+	col := newCollector(true)
+	for i := 0; i < 10; i++ {
+		col.observe(kindFigure, "http://a", 5*time.Millisecond, http.StatusOK, false, "")
+	}
+	for i := 0; i < 4; i++ {
+		col.observe(kindEnqueue, "http://b", 20*time.Millisecond, http.StatusAccepted, false, "")
+	}
+	col.observe(kindFigure, "http://b", 0, 0, true, "")
+
+	sum := col.summarize(time.Second, nil)
+	if sum.Requests != 15 {
+		t.Fatalf("requests = %d, want 15", sum.Requests)
+	}
+	a, b := sum.Targets["http://a"], sum.Targets["http://b"]
+	if a.OK != 10 || b.OK != 4 || b.Transport != 1 {
+		t.Fatalf("per-target summaries: a=%+v b=%+v", a, b)
+	}
+	if a.P50MS < 4 || a.P50MS > 6 {
+		t.Fatalf("target a p50 = %.2f ms, want ~5", a.P50MS)
+	}
+	if b.P50MS < 19 || b.P50MS > 21 {
+		t.Fatalf("target b p50 = %.2f ms, want ~20", b.P50MS)
 	}
 }

@@ -1,0 +1,327 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildDaemon compiles the real binary into dir.
+func buildDaemon(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "refschedd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// reservePorts picks n free localhost ports by binding and releasing
+// them; the daemons re-bind moments later. The -peers spec needs every
+// address before any node starts, so ephemeral :0 ports can't be used.
+func reservePorts(t *testing.T, n int) []int {
+	t.Helper()
+	ports := make([]int, n)
+	lns := make([]net.Listener, n)
+	for i := range ports {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		ports[i] = ln.Addr().(*net.TCPAddr).Port
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return ports
+}
+
+// clusterNode is one running daemon process.
+type clusterNode struct {
+	id     string
+	base   string
+	cmd    *exec.Cmd
+	exited chan error
+}
+
+// startNode launches one daemon and waits for /healthz.
+func startNode(t *testing.T, bin, id, addr string, extra ...string) *clusterNode {
+	t.Helper()
+	args := append([]string{"-addr", addr, "-quick", "-mixes", "WL-6"}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	n := &clusterNode{id: id, base: "http://" + addr, cmd: cmd, exited: make(chan error, 1)}
+	go func() { n.exited <- cmd.Wait() }()
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		select {
+		case <-n.exited:
+		case <-time.After(10 * time.Second):
+		}
+	})
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		select {
+		case err := <-n.exited:
+			t.Fatalf("node %s exited before becoming ready: %v", id, err)
+		default:
+		}
+		resp, err := http.Get(n.base + "/healthz")
+		if err == nil {
+			ok := resp.StatusCode == http.StatusOK
+			resp.Body.Close()
+			if ok {
+				return n
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node %s never became healthy", id)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// getPath GETs base+path with optional headers and returns the response
+// plus body.
+func getPath(t *testing.T, base, path string, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, base+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	client := &http.Client{Timeout: 5 * time.Minute}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// clusterBlock is the /statsz cluster slice these drills assert on.
+type clusterBlock struct {
+	NodeID          string `json:"node_id"`
+	RemoteCacheHits uint64 `json:"remote_cache_hits"`
+	CacheServed     uint64 `json:"cache_lookups_served"`
+	CellsDispatched uint64 `json:"fanout_cells_dispatched"`
+	CellsReclaimed  uint64 `json:"fanout_cells_reclaimed"`
+	CellsExecuted   uint64 `json:"remote_cells_executed"`
+}
+
+func statszCluster(t *testing.T, base string) clusterBlock {
+	t.Helper()
+	resp, body := getPath(t, base, "/statsz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("statsz: %d", resp.StatusCode)
+	}
+	var st struct {
+		Cluster *clusterBlock `json:"cluster"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cluster == nil {
+		t.Fatalf("no cluster block in statsz of %s", base)
+	}
+	return *st.Cluster
+}
+
+// TestClusterSmoke brings up a real 3-node cluster and drills the two
+// cross-node data paths end to end: a figure computed on its owner is
+// served as a cache hit through another node's cross-shard fallback, and
+// placement agreement means every entry node names the same owner.
+func TestClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the daemon binary")
+	}
+	dir := t.TempDir()
+	bin := buildDaemon(t, dir)
+	ports := reservePorts(t, 3)
+	ids := []string{"a", "b", "c"}
+	var specs []string
+	for i, id := range ids {
+		specs = append(specs, fmt.Sprintf("%s=127.0.0.1:%d", id, ports[i]))
+	}
+	peers := strings.Join(specs, ",")
+
+	nodes := map[string]*clusterNode{}
+	for i, id := range ids {
+		nodes[id] = startNode(t, bin, id, fmt.Sprintf("127.0.0.1:%d", ports[i]),
+			"-peers", peers, "-node-id", id, "-fanout", "0")
+	}
+
+	// Clustered /healthz names its node.
+	resp, body := getPath(t, nodes["a"].base, "/healthz", nil)
+	var health struct {
+		NodeID string `json:"node_id"`
+	}
+	if err := json.Unmarshal(body, &health); err != nil || health.NodeID != "a" {
+		t.Fatalf("healthz does not name the node (err=%v): %s", err, body)
+	}
+
+	// Compute table1 through normal routing; the response names the
+	// owner that computed and cached it.
+	resp, ref := getPath(t, nodes["a"].base, "/v1/figures/table1", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("figure GET: %d: %s", resp.StatusCode, ref)
+	}
+	owner := resp.Header.Get("X-Refsched-Node")
+	if nodes[owner] == nil {
+		t.Fatalf("X-Refsched-Node = %q, not a member", owner)
+	}
+
+	// Every entry node routes to the same owner and serves its cache.
+	for _, id := range ids {
+		resp, got := getPath(t, nodes[id].base, "/v1/figures/table1", nil)
+		if n := resp.Header.Get("X-Refsched-Node"); n != owner {
+			t.Fatalf("entry %s routed to %s, want %s", id, n, owner)
+		}
+		if resp.Header.Get("X-Cache") != "hit" {
+			t.Fatalf("entry %s repeat GET X-Cache = %q", id, resp.Header.Get("X-Cache"))
+		}
+		if string(got) != string(ref) {
+			t.Fatalf("entry %s served different bytes", id)
+		}
+	}
+
+	// Cross-shard fallback: a non-owner forced to handle the figure
+	// locally (forwarded marker, one hop max) asks the owner's cache
+	// instead of simulating.
+	other := ids[0]
+	if other == owner {
+		other = ids[1]
+	}
+	resp, got := getPath(t, nodes[other].base, "/v1/figures/table1",
+		map[string]string{"X-Refsched-Forwarded": "test"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("marked GET: %d: %s", resp.StatusCode, got)
+	}
+	if n := resp.Header.Get("X-Refsched-Node"); n != other {
+		t.Fatalf("marked request escaped %s to %s", other, n)
+	}
+	if resp.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("cross-shard fallback X-Cache = %q, want hit", resp.Header.Get("X-Cache"))
+	}
+	if string(got) != string(ref) {
+		t.Fatal("cross-shard bytes differ from the owner's render")
+	}
+	if st := statszCluster(t, nodes[other].base); st.RemoteCacheHits == 0 {
+		t.Fatalf("node %s reports no remote cache hits: %+v", other, st)
+	}
+	if st := statszCluster(t, nodes[owner].base); st.CacheServed == 0 {
+		t.Fatalf("owner %s served no cache lookups: %+v", owner, st)
+	}
+
+	// All three drain cleanly.
+	for _, n := range nodes {
+		if err := n.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id, n := range nodes {
+		select {
+		case err := <-n.exited:
+			if err != nil {
+				t.Fatalf("node %s exited non-zero after SIGTERM: %v", id, err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatalf("node %s did not exit after SIGTERM", id)
+		}
+	}
+}
+
+// TestClusterKillNodeByteIdentical is the degraded-mode acceptance
+// drill: a fanned-out fig10 sweep, with one peer SIGKILLed mid-sweep,
+// must render byte-identical to a single-node daemon's output.
+func TestClusterKillNodeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the daemon binary")
+	}
+	dir := t.TempDir()
+	bin := buildDaemon(t, dir)
+
+	// Single-node reference render with identical parameters.
+	refPorts := reservePorts(t, 1)
+	ref := startNode(t, bin, "ref", fmt.Sprintf("127.0.0.1:%d", refPorts[0]))
+	resp, want := getPath(t, ref.base, "/v1/figures/fig10", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reference render: %d: %s", resp.StatusCode, want)
+	}
+	if resp.Header.Get("X-Refsched-Node") != "" {
+		t.Fatal("single-node daemon names a cluster node")
+	}
+	ref.cmd.Process.Signal(syscall.SIGTERM)
+
+	ports := reservePorts(t, 3)
+	ids := []string{"a", "b", "c"}
+	var specs []string
+	for i, id := range ids {
+		specs = append(specs, fmt.Sprintf("%s=127.0.0.1:%d", id, ports[i]))
+	}
+	peers := strings.Join(specs, ",")
+	nodes := map[string]*clusterNode{}
+	for i, id := range ids {
+		nodes[id] = startNode(t, bin, id, fmt.Sprintf("127.0.0.1:%d", ports[i]),
+			"-peers", peers, "-node-id", id, "-fanout", "2")
+	}
+
+	// The approx tier answers instantly, names fig10's owner, and kicks
+	// the exact sweep off on it in the background — which immediately
+	// starts fanning cells out to both peers.
+	resp, body := getPath(t, nodes["a"].base, "/v1/figures/fig10?fidelity=approx", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("approx GET: %d: %s", resp.StatusCode, body)
+	}
+	owner := resp.Header.Get("X-Refsched-Node")
+	if nodes[owner] == nil {
+		t.Fatalf("X-Refsched-Node = %q, not a member", owner)
+	}
+
+	// SIGKILL a peer of the owner while the sweep runs: its in-flight
+	// cells must be reclaimed and re-run locally or on the survivor.
+	victim := ids[0]
+	if victim == owner {
+		victim = ids[1]
+	}
+	time.Sleep(200 * time.Millisecond)
+	if err := nodes[victim].cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The exact render — joined to the in-flight sweep by single-flight
+	// dedup — must equal the single-node reference byte for byte.
+	resp, got := getPath(t, nodes[owner].base, "/v1/figures/fig10", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("exact GET: %d: %s", resp.StatusCode, got)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("degraded fanned-out render differs from single-node output:\n--- cluster\n%s\n--- single\n%s", got, want)
+	}
+
+	st := statszCluster(t, nodes[owner].base)
+	if st.CellsDispatched == 0 {
+		t.Fatalf("owner %s dispatched no fan-out cells: %+v", owner, st)
+	}
+}

@@ -16,9 +16,19 @@
 //	GET  /v1/figures/{name}       synchronous cached-or-computed figure;
 //	                              the body is byte-identical to what
 //	                              cmd/experiments prints for that target
-//	GET  /healthz                 liveness + build version
+//	GET  /healthz                 liveness + build version (+ node id when
+//	                              clustered)
 //	GET  /statsz                  queue depth, cache hit ratio, per-figure
-//	                              latency quantiles
+//	                              latency quantiles (+ cluster block when
+//	                              clustered)
+//
+// With -peers/-node-id, N daemons form a cluster (DESIGN.md §11):
+// requests forward one hop to their key's consistent-hash owner, local
+// cache misses consult the owner's cache before simulating, and sweep
+// cells fan out to peers with spare -fanout slots — all of it absent
+// (and the daemon byte-identical to a standalone build) without -peers.
+// Clustered daemons additionally serve the cluster-internal endpoints
+// POST /v1/cells, GET /v1/cache/{key}, and GET /v1/cluster/timeline.
 //
 // Admission control returns 429 + Retry-After once the queue is full,
 // when a tenant (X-Tenant header) exceeds its -tenant-rate bucket or
@@ -59,6 +69,7 @@ import (
 
 	"refsched/internal/buildinfo"
 	"refsched/internal/chaos"
+	"refsched/internal/cluster"
 	"refsched/internal/harness"
 	"refsched/internal/service"
 )
@@ -103,6 +114,10 @@ func main() {
 		chaosMode  = flag.String("chaos-mode", "transient", "injected fault shape: transient|error|panic|stall|mixed")
 		chaosSeed  = flag.Uint64("chaos-seed", 1, "fault placement seed")
 		chaosStall = flag.Duration("chaos-stall", 0, "stall-mode sleep per faulted cell (0 = default 10ms)")
+
+		peers  = flag.String("peers", "", "cluster membership as id=host:port,... including this node (empty = single-node)")
+		nodeID = flag.String("node-id", "", "this node's id within -peers (required with -peers)")
+		fanout = flag.Int("fanout", 2, "per-peer cap on concurrently dispatched remote sweep cells (0 = no fan-out)")
 
 		logFormat = flag.String("log-format", "text", "structured log encoding on stderr: text|json")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -164,6 +179,27 @@ func main() {
 		})
 	}
 
+	var clu *cluster.Cluster
+	if *peers != "" {
+		members, err := cluster.ParsePeers(*peers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "refschedd: %v\n", err)
+			os.Exit(2)
+		}
+		clu, err = cluster.New(cluster.Config{
+			NodeID:        *nodeID,
+			Peers:         members,
+			FanoutPerPeer: *fanout,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "refschedd: %v\n", err)
+			os.Exit(2)
+		}
+	} else if *nodeID != "" {
+		fmt.Fprintln(os.Stderr, "refschedd: -node-id requires -peers")
+		os.Exit(2)
+	}
+
 	svc, err := service.New(service.Config{
 		Params:       p,
 		QueueDepth:   *queueDepth,
@@ -175,6 +211,7 @@ func main() {
 		WALPath:      *jobWAL,
 		DrainTimeout: *drain,
 		Logger:       log,
+		Cluster:      clu,
 		Tenant: service.TenantConfig{
 			Rate:        *tenantRate,
 			Burst:       *tenantBurst,
@@ -224,6 +261,9 @@ func main() {
 			log.Error("writing port file failed", "path", *portFile, "error", err)
 			os.Exit(1)
 		}
+	}
+	if clu != nil {
+		log.Info("clustered", "node", *nodeID, "peers", len(clu.Members())-1, "fanout", *fanout)
 	}
 	log.Info("listening", "addr", ln.Addr().String(),
 		"version", buildinfo.Get().String(), "pprof", *pprofOn)

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"sort"
+	"strconv"
+)
+
+// ringReplicas is how many hash points each node contributes to the
+// ring. 128 keeps the ownership split within a few percent of even for
+// small clusters while staying cheap to rebuild.
+const ringReplicas = 128
+
+// ring is a consistent-hash ring over node IDs. Membership is fixed at
+// construction (the cluster is statically configured), so every node
+// that was given the same member list computes identical placement —
+// which is what lets any node forward a request and know the owner
+// agrees it is the owner.
+type ring struct {
+	points []ringPoint // sorted by hash
+	nodes  []string    // member ids, construction order
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// newRing builds the ring for the given member ids.
+func newRing(nodes []string) *ring {
+	r := &ring{nodes: append([]string(nil), nodes...)}
+	for _, n := range nodes {
+		for i := 0; i < ringReplicas; i++ {
+			r.points = append(r.points, ringPoint{
+				hash: fnv64(n + "#" + strconv.Itoa(i)),
+				node: n,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Identical hash points (vanishingly rare) tie-break by id so
+		// placement stays deterministic across nodes.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// owner returns the node owning key: the first ring point clockwise
+// from the key's hash.
+func (r *ring) owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := fnv64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// preference returns every member in ownership order for key: the
+// owner first, then each distinct successor. It is the fallback walk —
+// when the owner is down, the next node in this order covers for it,
+// and a recovered owner knows exactly whose cache to consult.
+func (r *ring) preference(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := fnv64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[string]bool, len(r.nodes))
+	out := make([]string, 0, len(r.nodes))
+	for i := 0; i < len(r.points) && len(out) < len(r.nodes); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// fnv64 hashes ring labels and keys: FNV-1a followed by an avalanche
+// finalizer. Raw FNV-1a on the short "id#replica" labels clusters badly
+// in the high bits (a 3-node ring can leave one node under 10% of the
+// keyspace); the finalizer spreads every input bit across the word.
+// Placement must be identical on every node, so the function is fixed
+// here rather than pluggable.
+func fnv64(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

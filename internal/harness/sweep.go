@@ -32,7 +32,7 @@ func cellKey(parts ...string) string {
 func (p Params) bundleJob(key string, d config.Density, b bundle, highTemp bool, mix workload.Mix) cellJob {
 	return cellJob{
 		key:  key,
-		cell: runner.Cell{Mix: mix.Name, Density: d.String(), Bundle: b.name, Seed: p.Seed},
+		cell: runner.Cell{Mix: mix.Name, Density: d.String(), Bundle: b.name, Seed: p.Seed, Hot: highTemp, Remotable: true},
 		run:  func() (*core.Report, error) { return p.runBundle(d, b, highTemp, mix) },
 	}
 }

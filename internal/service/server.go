@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"refsched/internal/buildinfo"
+	"refsched/internal/cluster"
 	"refsched/internal/core"
 	"refsched/internal/harness"
 	"refsched/internal/journal"
@@ -100,6 +101,13 @@ type Config struct {
 	// Logger receives the structured access log (one request-ID-tagged
 	// line per HTTP request) and job lifecycle events. Nil discards.
 	Logger *slog.Logger
+	// Cluster, when non-nil, makes this daemon one node of a statically
+	// configured cluster: requests route to their ring owner, cache
+	// misses fall back across shards, and sweeps fan their cells out to
+	// peers (see internal/cluster). Nil — the default — keeps
+	// single-node behavior byte-identical: no extra endpoints, headers,
+	// metrics, or stats fields.
+	Cluster *cluster.Cluster
 }
 
 func (c Config) withDefaults() Config {
@@ -165,6 +173,16 @@ type Server struct {
 	log    *slog.Logger
 	reqSeq atomic.Uint64 // access-log request ids
 
+	// cluster is the node's membership/ring/fan-out state (nil when
+	// clustering is off; every use is nil-safe). clusterTL records
+	// node-level forward and received-cell spans; remoteJobs maps job
+	// ids created via forwarded POSTs to their owning peer (guarded by
+	// jobsMu, bounded like the finished ring).
+	cluster        *cluster.Cluster
+	clusterTL      *timeline.Recorder
+	remoteJobs     map[string]string
+	remoteJobOrder []string
+
 	// Counters behind /statsz and /metricsz. The atomics are the write
 	// targets; reg reads them (plus the queue, cache, and per-figure
 	// state) at snapshot time, so both endpoints are projections of one
@@ -221,8 +239,13 @@ func New(cfg Config) (*Server, error) {
 		reg:      metrics.NewRegistry(),
 		figs:     map[string]*figureMetrics{},
 		log:      cfg.Logger,
+		cluster:  cfg.Cluster,
 	}
 	s.runCtx, s.cancelRun = context.WithCancel(context.Background())
+	if s.cluster.Enabled() {
+		s.remoteJobs = map[string]string{}
+		s.clusterTL = newClusterTimeline(s.cluster.Self().ID)
+	}
 
 	// The WAL opens before metrics registration (its counters are
 	// registered) and before workers start (replayed jobs must hit the
@@ -252,6 +275,14 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	if s.cluster.Enabled() {
+		// Cluster-internal endpoints exist only on cluster nodes; a
+		// single-node daemon's surface is unchanged.
+		s.mux.HandleFunc("POST /v1/cells", s.handleCellExec)
+		s.mux.HandleFunc("GET /v1/cache/{key...}", s.handleCacheGet)
+		s.mux.HandleFunc("GET /v1/cluster/timeline", s.handleClusterTimeline)
+		s.cluster.Start()
+	}
 
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -379,7 +410,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		s.log.Info("request", attrs...)
 	}()
-	s.mux.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, ri)))
+	r = r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, ri))
+	if s.cluster.Enabled() {
+		// Every response names its node; a forwarded response's header
+		// copy overwrites this with the executing node's id, so the
+		// value always names who actually handled the request.
+		sw.Header().Set(nodeHeader, s.cluster.Self().ID)
+		if s.routeCluster(sw, r, ri) {
+			return
+		}
+	}
+	s.mux.ServeHTTP(sw, r)
 }
 
 // registerMetrics binds the daemon's observability state onto its
@@ -450,6 +491,10 @@ func (s *Server) registerMetrics() {
 	c.GaugeFunc("hit_ratio", func() float64 { return s.cache.Stats().HitRatio })
 
 	root.GaugeFunc("uptime_seconds", func() float64 { return time.Since(s.start).Seconds() })
+
+	if s.cluster.Enabled() {
+		s.registerClusterMetrics()
+	}
 }
 
 // figMetrics returns figure's metrics bundle, creating and registering
@@ -551,6 +596,10 @@ func (s *Server) persistCache() error {
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.stopOnce.Do(func() { close(s.loopStop) })
+	// Stop probing peers first: this node is leaving, its view of the
+	// cluster no longer matters, and /healthz now answering 503 is what
+	// tells the peers the same about it.
+	s.cluster.Stop()
 	s.queue.close()
 
 	done := make(chan struct{})
@@ -600,7 +649,7 @@ func (s *Server) worker() {
 // the job's event hub (reusing the runner's OnDone collector), and
 // routes every cell through the global priority gate.
 func (s *Server) cellRunner(j *job) harness.CellRunner {
-	return func(ctx context.Context, _ string, rjobs []runner.Job[*core.Report], opts runner.Options[*core.Report]) (*runner.Batch[*core.Report], error) {
+	return func(ctx context.Context, figID string, rjobs []runner.Job[*core.Report], opts runner.Options[*core.Report]) (*runner.Batch[*core.Report], error) {
 		s.simulations.Add(1)
 		j.setCells(len(rjobs))
 		fm := s.figMetrics(j.figure)
@@ -656,6 +705,16 @@ func (s *Server) cellRunner(j *job) harness.CellRunner {
 				return release, err
 			}
 		}
+		if s.cluster.FanoutEnabled() {
+			// Remotable cells fan out to peers with spare capacity;
+			// everything else (and every failed dispatch) runs locally
+			// under the gate installed above. Results merge at their
+			// submission index, so the rendered figure is byte-identical
+			// to a single-node run.
+			j.tl.SetProcessName(tlPidRemote, "remote cells")
+			return s.cluster.RunCells(ctx, figID, j.params, j.reqID, j.priority,
+				rjobs, opts, s.remoteCellObserver(j))
+		}
 		return runner.RunBatch(ctx, rjobs, opts)
 	}
 }
@@ -686,6 +745,22 @@ func (s *Server) execute(j *job) {
 			s.cacheHits.Add(1)
 			s.completed.Add(1)
 			j.tl.Instant(tlPidService, tlTidJob, "cache-hit", j.sinceUS())
+			s.finishJob(j, JobDone, body, nil, nil, true)
+			s.observeLatency(j.figure, time.Since(t0))
+			return
+		}
+	}
+	// Cross-shard fallback: before paying for a simulation, ask the
+	// key's ring owner (one GET, never a broadcast) whether a peer
+	// already computed this result — and keep a local copy so the next
+	// miss here is a plain hit.
+	if s.cluster.Enabled() {
+		if body, peer, ok := s.remoteCacheLookup(j.key); ok {
+			s.cache.Put(j.key, body)
+			s.completed.Add(1)
+			j.tl.Emit(timeline.Event{Ph: timeline.PhaseInstant,
+				Ts: j.sinceUS(), Pid: tlPidService, Tid: tlTidJob,
+				Name: "remote-cache-hit", StrName: "peer", Str: peer})
 			s.finishJob(j, JobDone, body, nil, nil, true)
 			s.observeLatency(j.figure, time.Since(t0))
 			return
@@ -1440,6 +1515,8 @@ type Health struct {
 	UptimeS float64        `json:"uptime_s"`
 	Queued  int            `json:"queued"`
 	Running int64          `json:"running"`
+	// NodeID names this cluster node; absent on single-node daemons.
+	NodeID string `json:"node_id,omitempty"`
 }
 
 func (s *Server) health() Health {
@@ -1447,13 +1524,17 @@ func (s *Server) health() Health {
 	if s.draining.Load() {
 		status = "draining"
 	}
-	return Health{
+	h := Health{
 		Status:  status,
 		Version: buildinfo.Get(),
 		UptimeS: time.Since(s.start).Seconds(),
 		Queued:  s.queue.len(),
 		Running: s.running.Load(),
 	}
+	if s.cluster.Enabled() {
+		h.NodeID = s.cluster.Self().ID
+	}
+	return h
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -1511,6 +1592,10 @@ type Stats struct {
 	Simulations uint64                  `json:"simulations"`
 	Cache       CacheStats              `json:"cache"`
 	Figures     map[string]LatencyStats `json:"figures"`
+	// Cluster is the node's membership/forwarding/fan-out block; nil
+	// (omitted) on single-node daemons, keeping their /statsz payload
+	// byte-identical.
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
 	// RunningJobs samples each mid-run job's engine throughput at
 	// snapshot time (events executed by completed cells over wall time);
 	// empty when the daemon is idle.
@@ -1529,6 +1614,10 @@ func (s *Server) MetricsSnapshot() metrics.Snapshot { return s.reg.Snapshot() }
 func (s *Server) StatsSnapshot() Stats {
 	st := projectStats(s.reg.Snapshot())
 	st.RunningJobs = s.runningThroughput()
+	if s.cluster.Enabled() {
+		cs := s.cluster.Snapshot()
+		st.Cluster = &cs
+	}
 	return st
 }
 
