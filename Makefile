@@ -6,7 +6,7 @@ GO ?= go
 # out of go.mod so the simulator itself stays dependency-free.
 STATICCHECK = $(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1.1
 
-.PHONY: build test short race bench bench-baseline bench-compare serve ci staticcheck regen-output timeline-demo soak soak-short cluster-smoke cluster-demo
+.PHONY: build test short race bench bench-baseline bench-compare serve ci staticcheck regen-output timeline-demo soak soak-short cluster-smoke cluster-demo checkpoint-smoke
 
 build:
 	$(GO) build ./...
@@ -92,6 +92,28 @@ cluster-demo:
 	/tmp/refschedd-demo -addr 127.0.0.1:8372 -quick -peers $$PEERS -node-id b -fanout 2 & \
 	/tmp/refschedd-demo -addr 127.0.0.1:8373 -quick -peers $$PEERS -node-id c -fanout 2 & \
 	wait
+
+# The checkpoint/restore drill (see EXPERIMENTS.md "Checkpoint/
+# restore" and DESIGN.md §12): run a reference simulation, run the
+# identical simulation again with -checkpoint and SIGKILL it as soon as
+# the first snapshot lands, then -restore the survivor and require the
+# resumed report byte-identical to the uninterrupted one. The race-list
+# packages in `ci` already cover the preempt-and-resume paths; this
+# target proves the on-disk snapshot survives a hard kill.
+checkpoint-smoke:
+	@set -e; \
+	dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) build -o $$dir/refsim ./cmd/refsim; \
+	run="$$dir/refsim -mix WL-1 -density 8 -policy perbank -scale 512 -footprint-scale 0.02 -warmup 0 -measure 2"; \
+	$$run > $$dir/ref.json; \
+	$$run -checkpoint $$dir/c.snap -checkpoint-every 50000 > /dev/null 2>&1 & pid=$$!; \
+	i=0; while [ ! -s $$dir/c.snap ] && [ $$i -lt 600 ]; do sleep 0.05; i=$$((i+1)); done; \
+	kill -9 $$pid 2>/dev/null || { echo "checkpoint-smoke: run finished before SIGKILL landed (no snapshot left to restore)" >&2; exit 1; }; \
+	wait $$pid 2>/dev/null || true; \
+	[ -s $$dir/c.snap ] || { echo "checkpoint-smoke: no snapshot was written" >&2; exit 1; }; \
+	$$dir/refsim -restore $$dir/c.snap > $$dir/resumed.json; \
+	cmp $$dir/ref.json $$dir/resumed.json; \
+	echo "checkpoint-smoke: SIGKILL mid-run + restore is byte-identical"
 
 # Write the pair of Perfetto timelines EXPERIMENTS.md walks through:
 # the same mix under rotating per-bank refresh (baseline) and under the

@@ -61,6 +61,9 @@ func main() {
 		resume      = flag.Bool("resume", false, "skip runs already recorded in the journal (requires -journal)")
 		metricsPath = flag.String("metrics", "", "write a JSON metrics snapshot per run to FILE (full per-bank/per-task hierarchy)")
 		tlPath      = flag.String("timeline", "", "write a Perfetto-loadable timeline (Chrome trace-event JSON) per run to FILE; with several mixes each run writes FILE.<slot> (journal-resumed runs have no live system and write none)")
+		ckptPath    = flag.String("checkpoint", "", "write a resumable snapshot of the running simulation to FILE at every checkpoint boundary (atomic replace; removed on clean completion); with several mixes each run writes FILE.<slot>; resume a survivor with -restore")
+		ckptEvery   = flag.Uint64("checkpoint-every", 0, "checkpoint-boundary cadence in simulated cycles for -checkpoint/-restore (0 = four timeslices)")
+		restorePath = flag.String("restore", "", "resume one interrupted run from the snapshot at FILE (written by -checkpoint) and print its report; the snapshot carries the machine config and mix, so the usual run flags are ignored")
 	)
 	flag.Parse()
 
@@ -79,8 +82,21 @@ func main() {
 		if *metricsPath != "" || *tlPath != "" {
 			fatal(errors.New("-mode=approx has no event loop: -metrics and -timeline require -mode=exact"))
 		}
+		if *ckptPath != "" {
+			fatal(errors.New("-mode=approx has no event loop: -checkpoint requires -mode=exact"))
+		}
 	default:
 		fatal(fmt.Errorf("unknown -mode %q (want exact or approx)", *mode))
+	}
+	if *ckptPath != "" && *tlPath != "" {
+		fatal(errors.New("-checkpoint is incompatible with -timeline (an observed run cannot snapshot)"))
+	}
+
+	if *restorePath != "" {
+		if err := restoreRun(*restorePath, *ckptPath, *ckptEvery); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	mixes, err := resolveMixes(*mixNames, *benchCSV)
@@ -159,7 +175,25 @@ func main() {
 						return nil, err
 					}
 				}
-				rep, err := sys.RunWindows(*warmup, *measure)
+				var rep *refsched.Report
+				if *ckptPath != "" {
+					// Periodic crash-durable snapshot; a run that
+					// completes consumes its own snapshot so a later
+					// -restore never resumes finished work.
+					snapPath := *ckptPath
+					if len(mixes) > 1 {
+						snapPath = fmt.Sprintf("%s.%d", snapPath, i)
+					}
+					rep, err = sys.RunWindowsCheckpointed(*warmup, *measure, checkpointCadence(*ckptEvery, cfg),
+						func(st *refsched.SystemState) error { return refsched.WriteSnapshot(snapPath, st) })
+					if err == nil {
+						if rmErr := os.Remove(snapPath); rmErr != nil && !errors.Is(rmErr, os.ErrNotExist) {
+							return nil, rmErr
+						}
+					}
+				} else {
+					rep, err = sys.RunWindows(*warmup, *measure)
+				}
 				if err == nil && tl != nil {
 					if err := tl.Flush(); err != nil {
 						return nil, fmt.Errorf("timeline: %w", err)
@@ -212,6 +246,53 @@ func main() {
 		}
 		os.Exit(3)
 	}
+}
+
+// checkpointCadence resolves -checkpoint-every: the flag when set, else
+// four timeslices of the run's config.
+func checkpointCadence(every uint64, cfg refsched.Config) uint64 {
+	if every > 0 {
+		return every
+	}
+	return 4 * cfg.Timeslice()
+}
+
+// restoreRun resumes one interrupted run from a -checkpoint snapshot:
+// the snapshot carries the full machine (config, mix, footprint scale,
+// pending events), so the restored run needs no other flags and its
+// printed report is byte-identical to the uninterrupted run's. With
+// -checkpoint also given, the resumed run keeps snapshotting (a restore
+// can itself be interrupted and restored again). Success consumes the
+// snapshot file.
+func restoreRun(path, ckptPath string, every uint64) error {
+	st, err := refsched.ReadSnapshot(path)
+	if err != nil {
+		return err
+	}
+	sys, err := refsched.RestoreSystem(st, refsched.Options{})
+	if err != nil {
+		return err
+	}
+	var rep *refsched.Report
+	if ckptPath != "" {
+		rep, err = sys.Resume(checkpointCadence(every, st.Cfg),
+			func(st *refsched.SystemState) error { return refsched.WriteSnapshot(ckptPath, st) })
+	} else {
+		rep, err = sys.Resume(0, nil)
+	}
+	if err != nil {
+		return err
+	}
+	printReport(rep)
+	for _, p := range []string{path, ckptPath} {
+		if p == "" {
+			continue
+		}
+		if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	return nil
 }
 
 // writeMetrics dumps each completed run's cumulative snapshot as a JSON

@@ -1,0 +1,57 @@
+package cache
+
+// State is the serializable content of one cache level: every line's
+// tag/valid/dirty/LRU word plus the per-set counters and stats. Geometry
+// (sets, ways, line size) is not part of the state — a restore target
+// must be built from the same config, and SetState enforces the sizes.
+type State struct {
+	Tags    []uint64
+	Valid   []bool
+	Dirty   []bool
+	Stamp   []uint64
+	Counter []uint64
+	Stats   Stats
+}
+
+// State captures a deep copy of the cache content.
+func (c *Cache) State() State {
+	return State{
+		Tags:    append([]uint64(nil), c.tags...),
+		Valid:   append([]bool(nil), c.valid...),
+		Dirty:   append([]bool(nil), c.dirty...),
+		Stamp:   append([]uint64(nil), c.stamp...),
+		Counter: append([]uint64(nil), c.counter...),
+		Stats:   c.Stats,
+	}
+}
+
+// SetState restores cache content captured from an identically
+// configured cache.
+func (c *Cache) SetState(st State) {
+	if len(st.Tags) != len(c.tags) || len(st.Counter) != len(c.counter) {
+		panic("cache: snapshot geometry mismatch")
+	}
+	copy(c.tags, st.Tags)
+	copy(c.valid, st.Valid)
+	copy(c.dirty, st.Dirty)
+	copy(c.stamp, st.Stamp)
+	copy(c.counter, st.Counter)
+	c.Stats = st.Stats
+}
+
+// HierarchyState bundles both levels of a per-core cache stack.
+type HierarchyState struct {
+	L1 State
+	L2 State
+}
+
+// State captures both cache levels.
+func (h *Hierarchy) State() HierarchyState {
+	return HierarchyState{L1: h.L1.State(), L2: h.L2.State()}
+}
+
+// SetState restores both cache levels.
+func (h *Hierarchy) SetState(st HierarchyState) {
+	h.L1.SetState(st.L1)
+	h.L2.SetState(st.L2)
+}

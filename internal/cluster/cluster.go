@@ -165,6 +165,7 @@ type Cluster struct {
 	CacheServed       atomic.Uint64 // /v1/cache lookups this node answered with a hit
 	CellsDispatched   atomic.Uint64 // fan-out cells sent to peers
 	CellsReclaimed    atomic.Uint64 // dispatched cells re-run locally after peer failure
+	CellsResumed      atomic.Uint64 // reclaimed cells resumed from a peer-shipped snapshot
 	CellsExecuted     atomic.Uint64 // /v1/cells requests this node simulated
 }
 
@@ -392,6 +393,7 @@ type Stats struct {
 	CacheServed       uint64       `json:"cache_lookups_served"`
 	CellsDispatched   uint64       `json:"fanout_cells_dispatched"`
 	CellsReclaimed    uint64       `json:"fanout_cells_reclaimed"`
+	CellsResumed      uint64       `json:"fanout_cells_resumed"`
 	CellsExecuted     uint64       `json:"remote_cells_executed"`
 }
 
@@ -407,6 +409,7 @@ func (c *Cluster) Snapshot() Stats {
 		CacheServed:       c.CacheServed.Load(),
 		CellsDispatched:   c.CellsDispatched.Load(),
 		CellsReclaimed:    c.CellsReclaimed.Load(),
+		CellsResumed:      c.CellsResumed.Load(),
 		CellsExecuted:     c.CellsExecuted.Load(),
 	}
 	ids := append([]string(nil), c.order...)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -52,6 +53,27 @@ func (cr CellRequest) Params() harness.Params {
 		Mode:           cr.Mode,
 		Parallelism:    1,
 	}
+}
+
+// CellSnapshotHeader marks a /v1/cells failure response whose body is
+// an encoded core snapshot of the cell's partial progress (the
+// executing node was draining or lost its caller mid-run and
+// checkpointed instead of discarding the work). The coordinator
+// resumes the cell locally from the snapshot rather than recomputing
+// it from cycle zero.
+const CellSnapshotHeader = "X-Refsched-Cell-Snapshot"
+
+// cellSnapshotError is runRemoteCell's failure carrying the partial
+// work back: the dispatch did not complete remotely, but the peer
+// shipped a checkpoint to continue from.
+type cellSnapshotError struct {
+	peer string
+	cell runner.Cell
+	st   *core.SystemState
+}
+
+func (e *cellSnapshotError) Error() string {
+	return fmt.Sprintf("cluster: peer %s returned cell %s with a resume snapshot", e.peer, e.cell)
 }
 
 // CellEvent describes one completed remote cell dispatch for the
@@ -131,6 +153,21 @@ func (c *Cluster) RunCells(ctx context.Context, figID string, p harness.Params, 
 						return rep, nil
 					}
 					c.CellsReclaimed.Add(1)
+					// A peer that checkpointed before failing ships its
+					// partial progress; continue the simulation locally
+					// from the snapshot instead of from cycle zero. The
+					// resumed result is byte-identical either way, so a
+					// restore failure just falls through to the full
+					// local re-run.
+					var se *cellSnapshotError
+					if errors.As(err, &se) {
+						if rep, rerr := runLocal(func() (*core.Report, error) {
+							return resumeCell(ctx, se.st)
+						}); rerr == nil {
+							c.CellsResumed.Add(1)
+							return rep, nil
+						}
+					}
 				}
 				return runLocal(local)
 			}
@@ -142,6 +179,18 @@ func (c *Cluster) RunCells(ctx context.Context, figID string, p harness.Params, 
 
 	opts.Parallelism = runner.Parallelism(opts.Parallelism) + len(c.order)*c.cfg.FanoutPerPeer
 	return runner.RunBatch(ctx, wrapped, opts)
+}
+
+// resumeCell continues a peer-shipped cell snapshot to completion on
+// this node. The snapshot carries the full run interval and leg state,
+// so a plain Resume with no further checkpointing finishes the cell
+// and yields the byte-identical report.
+func resumeCell(ctx context.Context, st *core.SystemState) (*core.Report, error) {
+	sys, err := core.Restore(st, core.Options{Ctx: ctx})
+	if err != nil {
+		return nil, err
+	}
+	return sys.Resume(0, nil)
 }
 
 // acquireSlot picks the alive peer with the most free fan-out capacity
@@ -207,6 +256,18 @@ func (c *Cluster) runRemoteCell(ctx context.Context, p *peer, cr CellRequest, ce
 	defer resp.Body.Close()
 	c.ObservePeer(p.id, true)
 	if resp.StatusCode != http.StatusOK {
+		if resp.Header.Get(CellSnapshotHeader) != "" {
+			// The peer could not finish but checkpointed: the body is the
+			// cell's partial progress, decoded here and resumed by the
+			// caller. A snapshot that does not decode degrades to the
+			// plain rejection below.
+			st, derr := core.DecodeSnapshot(io.LimitReader(resp.Body, 64<<20), "peer "+p.id)
+			if derr == nil {
+				return nil, &cellSnapshotError{peer: p.id, cell: cell, st: st}
+			}
+			return nil, fmt.Errorf("cluster: peer %s shipped an unreadable cell snapshot for %s: %w",
+				p.id, cell, derr)
+		}
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return nil, fmt.Errorf("cluster: peer %s rejected cell %s: %s (%s)",
 			p.id, cell, resp.Status, bytes.TrimSpace(msg))

@@ -76,6 +76,21 @@ type System struct {
 
 	timing  dram.Timing
 	started bool
+
+	// footprintScale is the effective Options.FootprintScale, recorded
+	// so a checkpoint can rebuild an identical system.
+	footprintScale float64
+	// observed marks a trace or timeline recorder attached: those
+	// observers' state is not serialized, so checkpointing is refused.
+	observed bool
+
+	// Restore-side state: a restored system resumes from mid-run
+	// instead of starting at cycle zero.
+	restored   bool
+	resWarmup  uint64
+	resMeasure uint64
+	pastWarmup bool
+	warmSnap   metrics.Snapshot
 }
 
 // Build constructs a system for cfg running mix.
@@ -90,7 +105,7 @@ func Build(cfg config.System, mix workload.Mix, opt Options) (*System, error) {
 		cfg.Seed = opt.Seed
 	}
 
-	s := &System{Cfg: cfg, Eng: sim.NewEngine(), Mix: mix}
+	s := &System{Cfg: cfg, Eng: sim.NewEngine(), Mix: mix, footprintScale: opt.FootprintScale}
 	if opt.ChannelParallel {
 		s.Eng.EnableParallel(cfg.Mem.Channels) // no-op unless Channels >= 2
 	}
@@ -165,7 +180,32 @@ func Build(cfg config.System, mix workload.Mix, opt Options) (*System, error) {
 	}
 	s.Kernel.AssignMasks()
 	s.registerMetrics()
+	s.Eng.SetExec(s.execPayload)
 	return s, nil
+}
+
+// execPayload is the machine's single payload-event dispatcher: every
+// layer schedules closure-free typed events (see sim.Payload) and this
+// routes them back to the owning component. Keeping the event
+// population closure-free is what makes the engine's pending-event set
+// serializable for checkpoint/restore.
+func (s *System) execPayload(p sim.Payload) {
+	switch p.Kind {
+	case sim.KindMCRefreshTick, sim.KindMCTryIssue:
+		s.MCs[p.A].Exec(p)
+	case sim.KindMCComplete:
+		// B = core+1; 0 means an unowned (posted-write) completion that
+		// exists only so event counts match the closure implementation.
+		if p.B != 0 {
+			s.Cores[p.B-1].MissComplete(p.C, p.D)
+		}
+	case sim.KindCPUSubmitRead, sim.KindCPUSubmitWrite, sim.KindCPUQuantumEnd:
+		s.Cores[p.A].Exec(p)
+	case sim.KindKernelDispatch, sim.KindKernelRunTask, sim.KindKernelWake:
+		s.Kernel.Exec(p)
+	default:
+		panic(fmt.Sprintf("core: unexpected payload kind %d", p.Kind))
+	}
 }
 
 // registerMetrics binds every layer's counters onto the system's
@@ -221,7 +261,7 @@ func newPolicy(cfg *config.System, geo refresh.Geometry) (refresh.Scheduler, err
 		b := cfg.Refresh.RAIDRBins
 		return refresh.NewRAIDR(geo, refresh.RetentionBins{
 			OneWindow: b[0], TwoWindow: b[1], FourWindow: b[2],
-		}), nil
+		})
 	default:
 		return refresh.New(cfg.Refresh.Policy, geo)
 	}
@@ -241,6 +281,7 @@ func (s *System) AttachTrace(w io.Writer) (*trace.Recorder, error) {
 	// The tracer is shared mutable state on every controller's accept
 	// path; fall back to serial execution.
 	s.Eng.Close()
+	s.observed = true
 	rec := trace.NewRecorder(w)
 	for _, c := range s.MCs {
 		c.SetTracer(func(cycle, addr uint64, write bool, task int) {
@@ -264,6 +305,7 @@ func (s *System) AttachTimeline(w io.Writer) (*timeline.Recorder, error) {
 	// The recorder is shared mutable state on the controllers' refresh
 	// and stall paths; fall back to serial execution.
 	s.Eng.Close()
+	s.observed = true
 	rec := timeline.NewRecorder(w, 0)
 	rec.SetProcessName(timeline.PidCPU, "cpu")
 	for _, c := range s.Cores {
@@ -313,6 +355,9 @@ func (s *System) Run(warmup, measure uint64) (rep *Report, err error) {
 	if s.started {
 		return nil, fmt.Errorf("core: system already run")
 	}
+	if s.restored {
+		return nil, fmt.Errorf("core: restored system must Resume, not Run")
+	}
 	s.started = true
 	defer s.Eng.Close() // release parallel workers, if any
 	defer func() {
@@ -349,7 +394,7 @@ func (m *memoryPath) SubmitRead(r *mc.Request) bool {
 }
 
 // WhenReadSpace implements cpu.Memory.
-func (m *memoryPath) WhenReadSpace(ch int, fn func()) { m.MCs[ch].WhenReadSpace(fn) }
+func (m *memoryPath) WhenReadSpace(ch int, r *mc.Request) { m.MCs[ch].WhenReadSpace(r) }
 
 // SubmitWrite implements cpu.Memory.
 func (m *memoryPath) SubmitWrite(r *mc.Request) bool {
@@ -357,7 +402,7 @@ func (m *memoryPath) SubmitWrite(r *mc.Request) bool {
 }
 
 // WhenWriteSpace implements cpu.Memory.
-func (m *memoryPath) WhenWriteSpace(ch int, fn func()) { m.MCs[ch].WhenWriteSpace(fn) }
+func (m *memoryPath) WhenWriteSpace(ch int, r *mc.Request) { m.MCs[ch].WhenWriteSpace(r) }
 
 // Decode implements cpu.Memory.
 func (m *memoryPath) Decode(addr uint64) dram.Coord { return m.Mapper.Decode(addr) }

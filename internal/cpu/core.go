@@ -68,17 +68,22 @@ type Task interface {
 	Stats() *TaskStats
 }
 
-// Memory abstracts the request path to the memory controller(s).
+// Memory abstracts the request path to the memory controller(s). The
+// WhenSpace registrations hand over the rejected request itself (not a
+// retry callback) so controller back-pressure state is serializable.
 type Memory interface {
 	SubmitRead(r *mc.Request) bool
-	WhenReadSpace(channel int, fn func())
+	WhenReadSpace(channel int, r *mc.Request)
 	SubmitWrite(r *mc.Request) bool
-	WhenWriteSpace(channel int, fn func())
+	WhenWriteSpace(channel int, r *mc.Request)
 	Decode(addr uint64) dram.Coord
 }
 
 // miss tracks one outstanding LLC miss.
 type miss struct {
+	// id is the core-local handle completion events carry back (see
+	// MissComplete); ids are monotone per core and never reused.
+	id           uint64
 	completed    bool
 	store        bool // read-for-ownership: occupies an MSHR but not the ROB window
 	completeAt   sim.Time
@@ -105,6 +110,7 @@ type Core struct {
 	cpiAccum   uint64 // fixed-point fractional-cycle accumulator
 
 	outstanding []*miss
+	missSeq     uint64 // last issued miss id
 	waiting     bool
 	barrier     bool // waiting for ALL outstanding misses (dependent access)
 
@@ -282,8 +288,26 @@ func (c *Core) limitsOK() bool {
 	return true
 }
 
-// onMissComplete is the MC completion callback.
-func (c *Core) onMissComplete(m *miss, epoch uint64) {
+// MissComplete is the memory-system completion notification: the miss
+// with the given id finished its DRAM read. epoch is the core epoch
+// captured at issue; a mismatch means the issuing quantum already ended
+// and the core must not be resumed on the stale completion (the miss is
+// still marked complete — the old closure-based callback mutated the
+// struct unconditionally too). An unknown id means the issuing quantum's
+// miss slots were already recycled by a later Run; the notification is
+// then a no-op, exactly as the old callback was against an unreachable
+// miss struct.
+func (c *Core) MissComplete(id, epoch uint64) {
+	var m *miss
+	for _, x := range c.outstanding {
+		if x.id == id {
+			m = x
+			break
+		}
+	}
+	if m == nil {
+		return
+	}
 	m.completed = true
 	m.completeAt = c.eng.Now()
 	if epoch != c.epoch || !c.waiting {
@@ -303,44 +327,70 @@ func (c *Core) onMissComplete(m *miss, epoch uint64) {
 }
 
 // submitRead schedules the miss's DRAM read at the core's local time.
+// The payload captures everything the submission needs (address, task,
+// miss id, epoch) at schedule time: the core runs ahead, so by the time
+// the event fires the task binding may already have changed.
 func (c *Core) submitRead(lineAddr uint64, m *miss) {
-	epoch := c.epoch
-	req := &mc.Request{
-		Addr:   lineAddr,
-		Coord:  c.mem.Decode(lineAddr),
-		TaskID: c.task.ID(),
-	}
-	req.Done = func(*mc.Request) { c.onMissComplete(m, epoch) }
+	c.missSeq++
+	m.id = c.missSeq
 	at := c.localTime
 	if now := c.eng.Now(); at < now {
 		at = now
 	}
-	c.eng.ScheduleAt(at, func() { c.trySubmitRead(req) })
+	c.eng.SchedulePAt(at, sim.Payload{Kind: sim.KindCPUSubmitRead,
+		A: uint64(c.ID), B: lineAddr, C: m.id, D: c.epoch,
+		E: uint64(int64(c.task.ID()) + 1)})
 }
 
-func (c *Core) trySubmitRead(req *mc.Request) {
+// FireSubmitRead materializes a deferred read submission. The request
+// is rebuilt from the payload words (Decode is pure, so re-decoding the
+// address is exact); a full queue parks the request on the controller's
+// waiter list for automatic resubmission.
+func (c *Core) FireSubmitRead(p sim.Payload) {
+	req := &mc.Request{
+		Addr:   p.B,
+		Coord:  c.mem.Decode(p.B),
+		TaskID: int(int64(p.E) - 1),
+		Owner:  mc.Owner{Valid: true, Core: c.ID, Miss: p.C, Epoch: p.D},
+	}
 	if !c.mem.SubmitRead(req) {
-		c.mem.WhenReadSpace(req.Coord.Channel, func() { c.trySubmitRead(req) })
+		c.mem.WhenReadSpace(req.Coord.Channel, req)
 	}
 }
 
 // submitWriteback schedules a posted write at the core's local time.
 func (c *Core) submitWriteback(lineAddr uint64) {
-	req := &mc.Request{
-		Addr:   lineAddr,
-		Coord:  c.mem.Decode(lineAddr),
-		TaskID: c.task.ID(),
-	}
 	at := c.localTime
 	if now := c.eng.Now(); at < now {
 		at = now
 	}
-	c.eng.ScheduleAt(at, func() { c.trySubmitWrite(req) })
+	c.eng.SchedulePAt(at, sim.Payload{Kind: sim.KindCPUSubmitWrite,
+		A: uint64(c.ID), B: lineAddr, E: uint64(int64(c.task.ID()) + 1)})
 }
 
-func (c *Core) trySubmitWrite(req *mc.Request) {
+// FireSubmitWrite materializes a deferred posted-write submission.
+func (c *Core) FireSubmitWrite(p sim.Payload) {
+	req := &mc.Request{
+		Addr:   p.B,
+		Coord:  c.mem.Decode(p.B),
+		TaskID: int(int64(p.E) - 1),
+	}
 	if !c.mem.SubmitWrite(req) {
-		c.mem.WhenWriteSpace(req.Coord.Channel, func() { c.trySubmitWrite(req) })
+		c.mem.WhenWriteSpace(req.Coord.Channel, req)
+	}
+}
+
+// Exec dispatches this core's payload events.
+func (c *Core) Exec(p sim.Payload) {
+	switch p.Kind {
+	case sim.KindCPUSubmitRead:
+		c.FireSubmitRead(p)
+	case sim.KindCPUSubmitWrite:
+		c.FireSubmitWrite(p)
+	case sim.KindCPUQuantumEnd:
+		c.FireQuantumEnd(p.B)
+	default:
+		panic("cpu: unexpected payload kind")
 	}
 }
 
@@ -352,15 +402,36 @@ func (c *Core) finishQuantum() {
 	c.Idle = true
 	c.waiting = false
 	c.barrier = false
-	onEnd := c.onQuantumEnd
-	c.onQuantumEnd = nil
 	c.epoch++
+	onEnd := c.onQuantumEnd
 	if onEnd == nil {
 		return
 	}
 	if end <= c.eng.Now() {
+		c.onQuantumEnd = nil
 		onEnd(c, c.eng.Now())
 		return
 	}
-	c.eng.ScheduleAt(end, func() { onEnd(c, end) })
+	// Deferred quantum end: the handler stays installed until the event
+	// fires (the scheduler cannot re-Run this core before its own
+	// quantum-end notification, so the field cannot be clobbered).
+	c.eng.SchedulePAt(end, sim.Payload{Kind: sim.KindCPUQuantumEnd,
+		A: uint64(c.ID), B: end})
+}
+
+// FireQuantumEnd delivers a deferred quantum-end notification scheduled
+// by finishQuantum.
+func (c *Core) FireQuantumEnd(at sim.Time) {
+	onEnd := c.onQuantumEnd
+	c.onQuantumEnd = nil
+	if onEnd != nil {
+		onEnd(c, at)
+	}
+}
+
+// SetQuantumEndHandler re-installs the scheduler's quantum-end callback
+// after a snapshot restore (callbacks cannot be serialized; the kernel's
+// handler is identical for every core and every quantum).
+func (c *Core) SetQuantumEndHandler(fn func(c *Core, at sim.Time)) {
+	c.onQuantumEnd = fn
 }

@@ -58,15 +58,17 @@ func seg(instrs uint64, addr uint64, write, dep bool) struct {
 }
 
 // fakeMem satisfies Memory with a fixed service latency, recording
-// requests.
+// requests and routing completions back via the owner words (the role
+// the system dispatcher plays in the real machine).
 type fakeMem struct {
 	eng     *sim.Engine
+	core    *Core
 	latency uint64
 	reads   []*mc.Request
 	writes  []*mc.Request
-	// rejectReads forces SubmitRead to fail until waiters are notified.
+	// rejectReads forces SubmitRead to fail until waiters are resubmitted.
 	rejectReads bool
-	readWaiters []func()
+	readWaiters []*mc.Request
 }
 
 func (m *fakeMem) SubmitRead(r *mc.Request) bool {
@@ -74,23 +76,22 @@ func (m *fakeMem) SubmitRead(r *mc.Request) bool {
 		return false
 	}
 	m.reads = append(m.reads, r)
-	done := r.Done
-	m.eng.Schedule(m.latency, func() { done(r) })
+	m.eng.Schedule(m.latency, func() { m.core.MissComplete(r.Owner.Miss, r.Owner.Epoch) })
 	return true
 }
-func (m *fakeMem) WhenReadSpace(_ int, fn func()) { m.readWaiters = append(m.readWaiters, fn) }
+func (m *fakeMem) WhenReadSpace(_ int, r *mc.Request) { m.readWaiters = append(m.readWaiters, r) }
 func (m *fakeMem) SubmitWrite(r *mc.Request) bool {
 	m.writes = append(m.writes, r)
 	return true
 }
-func (m *fakeMem) WhenWriteSpace(int, func()) {}
+func (m *fakeMem) WhenWriteSpace(int, *mc.Request) {}
 func (m *fakeMem) Decode(addr uint64) dram.Coord {
 	return dram.Coord{Bank: int(addr>>12) & 7, Row: addr >> 15}
 }
 
 func newTestCore(t *testing.T, mem Memory, mlp int) *Core {
 	t.Helper()
-	eng := mem.(*fakeMem).eng
+	fm := mem.(*fakeMem)
 	hier, err := cache.NewHierarchy(
 		config.CacheConfig{SizeBytes: 1024, Ways: 2, LineBytes: 64, HitLatency: 2},
 		config.CacheConfig{SizeBytes: 8192, Ways: 4, LineBytes: 64, HitLatency: 20},
@@ -98,7 +99,10 @@ func newTestCore(t *testing.T, mem Memory, mlp int) *Core {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return NewCore(0, eng, mem, hier, 1.0, mlp, 128)
+	c := NewCore(0, fm.eng, mem, hier, 1.0, mlp, 128)
+	fm.core = c
+	fm.eng.SetExec(c.Exec)
+	return c
 }
 
 func TestCoreComputeOnlyIPC(t *testing.T) {
@@ -263,10 +267,10 @@ func TestCoreBackpressureRetries(t *testing.T) {
 	if len(mem.reads) != 0 || len(mem.readWaiters) == 0 {
 		t.Fatalf("reject path: reads=%d waiters=%d", len(mem.reads), len(mem.readWaiters))
 	}
-	// Open the queue and fire waiters: the read must land.
+	// Open the queue and resubmit waiters: the read must land.
 	mem.rejectReads = false
-	for _, fn := range mem.readWaiters {
-		fn()
+	for _, r := range mem.readWaiters {
+		mem.SubmitRead(r)
 	}
 	eng.RunUntil(1000)
 	if len(mem.reads) != 1 {

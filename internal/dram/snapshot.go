@@ -1,0 +1,60 @@
+package dram
+
+import "refsched/internal/sim"
+
+// BankState is the serializable mutable state of one Bank.
+type BankState struct {
+	OpenRow         int64
+	ReadyAt         sim.Time
+	LastActAt       sim.Time
+	WriteRecoveryAt sim.Time
+	RefUntil        sim.Time
+	SubRefUntil     []sim.Time // nil for monolithic banks
+	Stats           BankStats
+}
+
+// ChannelState is the serializable mutable state of one Channel: the
+// per-bank state machines plus the shared data-bus reservation. The
+// geometry (ranks, banks, timing) is rebuilt from config, not stored.
+type ChannelState struct {
+	Banks   []BankState
+	BusFree sim.Time
+}
+
+// State captures the channel's mutable state.
+func (c *Channel) State() ChannelState {
+	st := ChannelState{Banks: make([]BankState, len(c.banks)), BusFree: c.busFree}
+	for i, b := range c.banks {
+		bs := BankState{
+			OpenRow:         b.openRow,
+			ReadyAt:         b.readyAt,
+			LastActAt:       b.lastActAt,
+			WriteRecoveryAt: b.writeRecoveryAt,
+			RefUntil:        b.refUntil,
+			Stats:           b.Stats,
+		}
+		if b.subRefUntil != nil {
+			bs.SubRefUntil = append([]sim.Time(nil), b.subRefUntil...)
+		}
+		st.Banks[i] = bs
+	}
+	return st
+}
+
+// SetState restores state captured by State onto a freshly built channel
+// of the same geometry.
+func (c *Channel) SetState(st ChannelState) {
+	c.busFree = st.BusFree
+	for i, bs := range st.Banks {
+		b := c.banks[i]
+		b.openRow = bs.OpenRow
+		b.readyAt = bs.ReadyAt
+		b.lastActAt = bs.LastActAt
+		b.writeRecoveryAt = bs.WriteRecoveryAt
+		b.refUntil = bs.RefUntil
+		if bs.SubRefUntil != nil {
+			copy(b.subRefUntil, bs.SubRefUntil)
+		}
+		b.Stats = bs.Stats
+	}
+}

@@ -89,6 +89,33 @@ type Params struct {
 	// Chaos, when non-nil, deterministically injects faults into a
 	// fraction of cells (tests and failure drills only).
 	Chaos *chaos.Injector
+	// CheckpointEvery is the checkpoint-boundary cadence in simulated
+	// cycles for exact-engine cells (0 = four timeslices). Boundaries
+	// alone are free — they only split the engine's run into legs,
+	// which is invisible to the simulation — so this is also the
+	// preemption polling cadence. Only meaningful when checkpointing is
+	// enabled by one of the three knobs below; none of the four
+	// participate in Fingerprint, because checkpointing never changes a
+	// cell's result.
+	CheckpointEvery uint64
+	// CheckpointDir, when non-empty, persists each exact bundle cell's
+	// snapshot to <CheckpointDir>/<cell-key>.snap at every boundary and
+	// resumes from it when present (validated against the cell's
+	// parameters; corrupt or version-skewed files are refused with
+	// typed errors). A cell's snapshot is removed when it completes, so
+	// after a clean sweep the directory is empty.
+	CheckpointDir string
+	// Snapshots, when non-nil, receives mid-run snapshots (on
+	// preemption) and finished reports for exact bundle cells, and is
+	// consulted before running one. The serving daemon's preempt-and-
+	// resume path lives here.
+	Snapshots SnapshotStore
+	// Preempt, when non-nil, is polled at every checkpoint boundary of
+	// every exact bundle cell. A non-nil return captures a snapshot
+	// into Snapshots (and CheckpointDir, when set) and aborts the cell
+	// with that error — the cooperative preemption point.
+	Preempt func() error
+
 	// CellRunner, when non-nil, replaces the direct runner.RunBatch
 	// call that executes a sweep's enumerated cells. It is the hook the
 	// serving daemon uses to wrap every figure driver without forking
@@ -285,9 +312,18 @@ func (p Params) run(cfg config.System, mix workload.Mix) (*core.Report, error) {
 	return rep, nil
 }
 
-// runBundle is run with a bundle shorthand.
+// runBundle is run with a bundle shorthand. Bundle cells are the
+// checkpointable population: when a snapshot store, checkpoint
+// directory, or preemption hook is configured, they route through the
+// checkpoint driver (byte-identical results either way). Custom-closure
+// cells (fig4's bank masks, ext1's subarray overrides) call run
+// directly and never checkpoint, mirroring their non-remotability.
 func (p Params) runBundle(d config.Density, b bundle, highTemp bool, mix workload.Mix) (*core.Report, error) {
-	return p.run(p.configFor(d, b, highTemp), mix)
+	cfg := p.configFor(d, b, highTemp)
+	if p.checkpointed() {
+		return p.runWithCheckpoints(cfg, mix, p.checkpointKey(d, b, highTemp, mix))
+	}
+	return p.run(cfg, mix)
 }
 
 // pct formats a ratio as a percentage string.

@@ -1,0 +1,77 @@
+package buddy
+
+// State is the serializable state of the buddy allocator: the per-frame
+// metadata arrays and free-list links verbatim, so the restored
+// allocator serves the exact same frames in the exact same order.
+type State struct {
+	TotalPages uint64
+	NrFree     uint64
+	Order      []uint8
+	PageState  []uint8
+	Next       []int32
+	Prev       []int32
+	Heads      [MaxOrder + 1]int32
+	Allocs     uint64
+	Frees      uint64
+}
+
+// State captures the allocator for checkpointing.
+func (a *Allocator) State() State {
+	st := State{
+		TotalPages: a.totalPages,
+		NrFree:     a.nrFree,
+		Order:      append([]uint8(nil), a.order...),
+		PageState:  append([]uint8(nil), a.state...),
+		Next:       append([]int32(nil), a.next...),
+		Prev:       append([]int32(nil), a.prev...),
+		Heads:      a.heads,
+		Allocs:     a.Allocs,
+		Frees:      a.Frees,
+	}
+	return st
+}
+
+// SetState restores a captured state. The allocator must have been built
+// with the same page count.
+func (a *Allocator) SetState(st State) {
+	if st.TotalPages != a.totalPages {
+		panic("buddy: restoring state of a different memory size")
+	}
+	copy(a.order, st.Order)
+	copy(a.state, st.PageState)
+	copy(a.next, st.Next)
+	copy(a.prev, st.Prev)
+	a.heads = st.Heads
+	a.nrFree = st.NrFree
+	a.Allocs = st.Allocs
+	a.Frees = st.Frees
+}
+
+// PartitionState is the serializable state of the partition allocator:
+// the per-bank stash lists in LIFO order plus counters. The underlying
+// buddy allocator snapshots separately via Allocator.State.
+type PartitionState struct {
+	PerBank [][]uint64
+	Stats   PartitionStats
+}
+
+// State captures the partition layer for checkpointing.
+func (p *PartitionAllocator) State() PartitionState {
+	per := make([][]uint64, len(p.perBank))
+	for i, l := range p.perBank {
+		per[i] = append([]uint64(nil), l...)
+	}
+	return PartitionState{PerBank: per, Stats: p.Stats}
+}
+
+// SetState restores a captured partition-layer state. The allocator must
+// track the same bank count.
+func (p *PartitionAllocator) SetState(st PartitionState) {
+	if len(st.PerBank) != len(p.perBank) {
+		panic("buddy: restoring partition state of a different geometry")
+	}
+	for i, l := range st.PerBank {
+		p.perBank[i] = append([]uint64(nil), l...)
+	}
+	p.Stats = st.Stats
+}

@@ -326,7 +326,8 @@ func (k *Kernel) dispatch(c *cpu.Core, now sim.Time) {
 		// Idle until the next boundary.
 		k.Stats.IdleQuanta++
 		k.lastTask[c.ID] = nil
-		k.eng.ScheduleAt(end, func() { k.dispatch(c, end) })
+		k.eng.SchedulePAt(end, sim.Payload{Kind: sim.KindKernelDispatch,
+			A: uint64(c.ID), B: end})
 		return
 	}
 	k.Stats.Quanta++
@@ -356,9 +357,27 @@ func (k *Kernel) dispatch(c *cpu.Core, now sim.Time) {
 			start = end - 1
 		}
 	}
-	k.eng.ScheduleAt(start, func() {
-		c.Run(task, end, k.onQuantumEnd)
-	})
+	k.eng.SchedulePAt(start, sim.Payload{Kind: sim.KindKernelRunTask,
+		A: uint64(c.ID), B: uint64(task.id), C: end})
+}
+
+// Exec dispatches the kernel's payload events.
+func (k *Kernel) Exec(p sim.Payload) {
+	switch p.Kind {
+	case sim.KindKernelDispatch:
+		k.dispatch(k.cores[p.A], p.B)
+	case sim.KindKernelRunTask:
+		k.cores[p.A].Run(k.tasks[p.B], p.C, k.onQuantumEnd)
+	case sim.KindKernelWake:
+		t := k.tasks[p.A]
+		t.Sleeps++
+		if min := k.picker.MinVruntime(int(p.B)); t.Ent.Vruntime < min {
+			t.Ent.Vruntime = min
+		}
+		k.picker.Enqueue(int(p.B), t.Ent)
+	default:
+		panic("kernel: unexpected payload kind")
+	}
 }
 
 // onQuantumEnd is the core's callback at quantum expiry: charge
@@ -402,11 +421,6 @@ func (k *Kernel) maybeSleep(t *Task, at sim.Time) {
 	k.picker.Dequeue(t.Ent)
 	k.Stats.SleepEpisodes++
 	wake := at + sim.Time(t.SleepForCycles)
-	k.eng.ScheduleAt(wake, func() {
-		t.Sleeps++
-		if min := k.picker.MinVruntime(cpuID); t.Ent.Vruntime < min {
-			t.Ent.Vruntime = min
-		}
-		k.picker.Enqueue(cpuID, t.Ent)
-	})
+	k.eng.SchedulePAt(wake, sim.Payload{Kind: sim.KindKernelWake,
+		A: uint64(t.id), B: uint64(cpuID)})
 }

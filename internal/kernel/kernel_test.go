@@ -23,11 +23,11 @@ func (p fixedPlanner) SlotCycles() uint64        { return p.slot }
 // nullMem satisfies cpu.Memory for cores that never miss.
 type nullMem struct{}
 
-func (nullMem) SubmitRead(r *mc.Request) bool  { return true }
-func (nullMem) WhenReadSpace(int, func())      {}
-func (nullMem) SubmitWrite(r *mc.Request) bool { return true }
-func (nullMem) WhenWriteSpace(int, func())     {}
-func (nullMem) Decode(addr uint64) dram.Coord  { return dram.Coord{} }
+func (nullMem) SubmitRead(r *mc.Request) bool   { return true }
+func (nullMem) WhenReadSpace(int, *mc.Request)  {}
+func (nullMem) SubmitWrite(r *mc.Request) bool  { return true }
+func (nullMem) WhenWriteSpace(int, *mc.Request) {}
+func (nullMem) Decode(addr uint64) dram.Coord   { return dram.Coord{} }
 
 func rig(t *testing.T, cfg config.System, ncores int, planner refresh.SlotPlanner) (*Kernel, *sim.Engine) {
 	t.Helper()
@@ -49,7 +49,17 @@ func rig(t *testing.T, cfg config.System, ncores int, planner refresh.SlotPlanne
 		}
 		cores = append(cores, cpu.NewCore(i, eng, nullMem{}, hier, cfg.BaseCPI, cfg.MLP, cfg.ROB))
 	}
-	return New(eng, &cfg, alloc, mapper, cores, planner), eng
+	k := New(eng, &cfg, alloc, mapper, cores, planner)
+	// Stand-in for the system dispatcher (core.System.execPayload).
+	eng.SetExec(func(p sim.Payload) {
+		switch p.Kind {
+		case sim.KindCPUSubmitRead, sim.KindCPUSubmitWrite, sim.KindCPUQuantumEnd:
+			cores[p.A].Exec(p)
+		default:
+			k.Exec(p)
+		}
+	})
+	return k, eng
 }
 
 // hotGen is a trivial always-hitting generator.

@@ -79,6 +79,11 @@ type Picker interface {
 	// over tasks, and mass at or beyond η is the fallback regime the
 	// raw SkippedCandidates counter cannot distinguish.
 	SkipHistogram() *stats.Histogram
+	// State captures queue membership and counters for checkpointing.
+	State() State
+	// SetState restores a captured state, resolving serialized task
+	// IDs to live entities.
+	SetState(st State, resolve func(taskID int) *Entity)
 }
 
 // skipHistBuckets sizes the per-pick skip histograms: unit-width

@@ -1,0 +1,32 @@
+package vm
+
+// State is the serializable state of an address space. The page table
+// is a plain vpn->pfn map: lookup behaviour depends only on membership,
+// never on iteration order, so a map round-trip is exact.
+type State struct {
+	Pages        map[uint64]uint64
+	PerBankPages []uint64
+	Faults       uint64
+}
+
+// State captures the address space for checkpointing.
+func (as *AddressSpace) State() State {
+	pages := make(map[uint64]uint64, len(as.pages))
+	for k, v := range as.pages {
+		pages[k] = v
+	}
+	per := make([]uint64, len(as.perBankPages))
+	copy(per, as.perBankPages)
+	return State{Pages: pages, PerBankPages: per, Faults: as.faults}
+}
+
+// SetState restores a captured state. The address space must have been
+// built with the same page size and mapper geometry.
+func (as *AddressSpace) SetState(st State) {
+	as.pages = make(map[uint64]uint64, len(st.Pages))
+	for k, v := range st.Pages {
+		as.pages[k] = v
+	}
+	copy(as.perBankPages, st.PerBankPages)
+	as.faults = st.Faults
+}

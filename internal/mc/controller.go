@@ -58,9 +58,11 @@ type Controller struct {
 	// it, a saturated bus degenerates into per-cycle queue rescans).
 	minRejectedStart sim.Time
 
-	// Read-queue back-pressure waiters, FIFO.
-	readWaiters  []func()
-	writeWaiters []func()
+	// Read-queue back-pressure waiters, FIFO: rejected requests
+	// resubmitted (in arrival order) as slots free. Holding the requests
+	// themselves — not callbacks — keeps back-pressure state serializable.
+	readWaiters  []*Request
+	writeWaiters []*Request
 
 	// tracer, when set, observes every accepted demand request
 	// (cycle, line address, write, task).
@@ -100,7 +102,8 @@ func New(eng *sim.Domain, ch *dram.Channel, cfg config.MemConfig, policy refresh
 		c.pauser = p
 	}
 	if c.enabled {
-		c.eng.Schedule(policy.Interval(), c.refreshTick)
+		c.eng.SchedulePAt(c.eng.Now()+policy.Interval(),
+			sim.Payload{Kind: sim.KindMCRefreshTick, A: uint64(ch.ID)})
 	}
 	return c
 }
@@ -172,11 +175,13 @@ func (c *Controller) SubmitWrite(r *Request) bool {
 	return true
 }
 
-// WhenReadSpace registers fn to run once a read-queue slot frees.
-func (c *Controller) WhenReadSpace(fn func()) { c.readWaiters = append(c.readWaiters, fn) }
+// WhenReadSpace registers r for resubmission once a read-queue slot
+// frees (FIFO among waiters).
+func (c *Controller) WhenReadSpace(r *Request) { c.readWaiters = append(c.readWaiters, r) }
 
-// WhenWriteSpace registers fn to run once a write-queue slot frees.
-func (c *Controller) WhenWriteSpace(fn func()) { c.writeWaiters = append(c.writeWaiters, fn) }
+// WhenWriteSpace registers r for resubmission once a write-queue slot
+// frees.
+func (c *Controller) WhenWriteSpace(r *Request) { c.writeWaiters = append(c.writeWaiters, r) }
 
 // QueuedReads returns the current read-queue depth.
 func (c *Controller) QueuedReads() int { return len(c.readQ) }
@@ -245,7 +250,8 @@ func (c *Controller) refreshTick() {
 			c.emitRefreshSpans(now, end, t)
 		}
 	}
-	c.eng.Schedule(c.policy.Interval(), c.refreshTick)
+	c.eng.SchedulePAt(now+c.policy.Interval(),
+		sim.Payload{Kind: sim.KindMCRefreshTick, A: uint64(c.ch.ID)})
 }
 
 // emitRefreshSpans records the refresh command window [now, end) on
@@ -289,7 +295,7 @@ func (c *Controller) scheduleIssue(t sim.Time) {
 	}
 	c.issuePending = true
 	c.issueAt = t
-	c.eng.ScheduleAt(t, c.tryIssue)
+	c.eng.SchedulePAt(t, sim.Payload{Kind: sim.KindMCTryIssue, A: uint64(c.ch.ID)})
 }
 
 func (c *Controller) tryIssue() {
@@ -474,27 +480,47 @@ func (c *Controller) issue(r *Request, plan dram.AccessPlan, q *[]*Request, idx 
 	}
 	*q = append((*q)[:idx], (*q)[idx+1:]...)
 
-	req := r
 	// Completion re-enters the issuing core (shared state), so it must
-	// run serially even when channel events execute in parallel.
-	c.eng.ScheduleSharedAt(plan.DataEnd, func() {
-		if req.Done != nil {
-			req.Done(req)
-		}
+	// run serially even when channel events execute in parallel. Unowned
+	// completions (posted writes) still execute — as no-ops — so the
+	// event population matches the closure implementation exactly.
+	var owner uint64
+	if r.Owner.Valid {
+		owner = uint64(r.Owner.Core) + 1
+	}
+	c.eng.SchedulePSharedAt(plan.DataEnd, sim.Payload{
+		Kind: sim.KindMCComplete, A: uint64(c.ch.ID),
+		B: owner, C: r.Owner.Miss, D: r.Owner.Epoch,
 	})
 	c.notifyWaiters()
 }
 
-// notifyWaiters wakes queue-space waiters now that a slot freed.
+// notifyWaiters resubmits queued waiters now that a slot freed. The
+// submission cannot fail: waiters are only popped while the queue has
+// space (exactly the retry the old callback-based waiters performed).
 func (c *Controller) notifyWaiters() {
 	for len(c.readWaiters) > 0 && c.CanAcceptRead() {
-		fn := c.readWaiters[0]
+		r := c.readWaiters[0]
 		c.readWaiters = c.readWaiters[1:]
-		fn()
+		c.SubmitRead(r)
 	}
 	for len(c.writeWaiters) > 0 && c.CanAcceptWrite() {
-		fn := c.writeWaiters[0]
+		r := c.writeWaiters[0]
 		c.writeWaiters = c.writeWaiters[1:]
-		fn()
+		c.SubmitWrite(r)
+	}
+}
+
+// Exec dispatches this controller's own payload events. Completion
+// events (KindMCComplete) re-enter the issuing core and are routed by
+// the system-level dispatcher instead.
+func (c *Controller) Exec(p sim.Payload) {
+	switch p.Kind {
+	case sim.KindMCRefreshTick:
+		c.refreshTick()
+	case sim.KindMCTryIssue:
+		c.tryIssue()
+	default:
+		panic("mc: unexpected payload kind")
 	}
 }

@@ -9,13 +9,19 @@ import (
 	"refsched/internal/sim"
 )
 
-// rig bundles a controller test fixture.
+// rig bundles a controller test fixture. It stands in for the system
+// dispatcher: controller payload events route back to the controller,
+// and completion events invoke per-miss callbacks registered by the
+// test (the role cpu.Core.MissComplete plays in the real machine).
 type rig struct {
 	eng *sim.Engine
 	ch  *dram.Channel
 	mc  *Controller
 	tm  dram.Timing
 	cfg config.System
+
+	onDone   map[uint64]func(finish sim.Time)
+	nextMiss uint64
 }
 
 func newRig(t *testing.T, pol config.RefreshPolicy) *rig {
@@ -29,7 +35,32 @@ func newRig(t *testing.T, pol config.RefreshPolicy) *rig {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &rig{eng: eng, ch: ch, mc: New(eng.Domain(1), ch, cfg.Mem, p), tm: tm, cfg: cfg}
+	return wireRig(&rig{eng: eng, ch: ch, mc: New(eng.Domain(1), ch, cfg.Mem, p),
+		tm: tm, cfg: cfg})
+}
+
+// wireRig installs the rig's payload dispatcher on its engine.
+func wireRig(r *rig) *rig {
+	r.onDone = make(map[uint64]func(sim.Time))
+	r.eng.SetExec(func(pl sim.Payload) {
+		if pl.Kind == sim.KindMCComplete {
+			if pl.B != 0 {
+				if fn := r.onDone[pl.C]; fn != nil {
+					fn(r.eng.Now())
+				}
+			}
+			return
+		}
+		r.mc.Exec(pl)
+	})
+	return r
+}
+
+// miss registers a completion callback and returns its miss id.
+func (r *rig) miss(fn func(finish sim.Time)) uint64 {
+	r.nextMiss++
+	r.onDone[r.nextMiss] = fn
+	return r.nextMiss
 }
 
 // read submits a read to (rank,bank,row) and returns a *sim.Time that
@@ -39,7 +70,7 @@ func (r *rig) read(t *testing.T, rank, bank int, row uint64) *sim.Time {
 	done := new(sim.Time)
 	req := &Request{
 		Coord: dram.Coord{Rank: rank, Bank: bank, Row: row},
-		Done:  func(rq *Request) { *done = rq.FinishAt },
+		Owner: Owner{Valid: true, Miss: r.miss(func(at sim.Time) { *done = at })},
 	}
 	if !r.mc.SubmitRead(req) {
 		t.Fatal("read queue unexpectedly full")
@@ -126,12 +157,16 @@ func TestReadQueueBackpressure(t *testing.T) {
 	if r.mc.Stats.QueueFullReadStalls != 1 {
 		t.Fatalf("stall count = %d", r.mc.Stats.QueueFullReadStalls)
 	}
-	// A waiter fires once space frees.
-	fired := false
-	r.mc.WhenReadSpace(func() { fired = true })
+	// A parked request is resubmitted and completes once space frees.
+	done := new(sim.Time)
+	waiter := &Request{
+		Coord: dram.Coord{Rank: 0, Bank: 0, Row: 999},
+		Owner: Owner{Valid: true, Miss: r.miss(func(at sim.Time) { *done = at })},
+	}
+	r.mc.WhenReadSpace(waiter)
 	r.eng.Run()
-	if !fired {
-		t.Fatal("read-space waiter never fired")
+	if *done == 0 {
+		t.Fatal("read-space waiter never completed")
 	}
 }
 

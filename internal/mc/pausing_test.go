@@ -53,13 +53,15 @@ func TestPausingRemainderEventuallyRuns(t *testing.T) {
 // policy defers refreshes (skips), unlike plain all-bank.
 func TestElasticSkipsWhileLoaded(t *testing.T) {
 	r := newRig(t, config.RefreshElastic)
-	// Saturate bank 0 with reads so rank 0 never looks idle.
+	// Saturate bank 0 with reads so rank 0 never looks idle: each
+	// completion re-submits an identical read to keep the queue occupied.
 	for i := 0; i < 32; i++ {
-		r.mc.SubmitRead(&Request{Coord: dram.Coord{Rank: 0, Bank: 0, Row: uint64(i)},
-			Done: func(rq *Request) {
-				// Re-submit to keep the queue occupied.
-				r.mc.SubmitRead(&Request{Coord: rq.Coord, Done: rq.Done})
-			}})
+		coord := dram.Coord{Rank: 0, Bank: 0, Row: uint64(i)}
+		var id uint64
+		id = r.miss(func(sim.Time) {
+			r.mc.SubmitRead(&Request{Coord: coord, Owner: Owner{Valid: true, Miss: id}})
+		})
+		r.mc.SubmitRead(&Request{Coord: coord, Owner: Owner{Valid: true, Miss: id}})
 	}
 	r.eng.RunUntil(sim.Time(r.tm.TREFIab * 4))
 	if r.mc.Stats.RefreshSkipped == 0 {

@@ -31,10 +31,24 @@ type Request struct {
 	// refresh-busy bank.
 	RefreshStalled bool
 
-	// Done is invoked at completion time for reads.
-	Done func(*Request)
+	// Owner identifies the core-side miss to notify at completion time
+	// (reads only; posted writes leave it zero). It replaces a completion
+	// closure so in-flight requests are serializable: the completion
+	// event carries these words and the dispatcher routes them back to
+	// cpu.Core.MissComplete.
+	Owner Owner
 
 	bypasses int // times a younger row-hit overtook this request
+}
+
+// Owner names the issuing core's outstanding miss for a demand read.
+type Owner struct {
+	Valid bool
+	Core  int
+	// Miss is the core-local miss id; Epoch guards against stale
+	// completions after a context switch (see cpu.Core.MissComplete).
+	Miss  uint64
+	Epoch uint64
 }
 
 // Latency returns the queue-to-data latency in cycles.

@@ -135,7 +135,10 @@ func TestPausingPenaltyIsPrecharge(t *testing.T) {
 func TestRAIDRDecimatesToProfileRate(t *testing.T) {
 	g := geo(t, 64)
 	bins := DefaultRetentionBins()
-	r := NewRAIDR(g, RetentionBins{})
+	r, err := NewRAIDR(g, RetentionBins{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	const ticks = 100000
 	for i := 0; i < ticks; i++ {
 		r.Next(0, nil)
@@ -154,7 +157,10 @@ func TestRAIDRDecimatesToProfileRate(t *testing.T) {
 func TestRAIDRRotatesBanks(t *testing.T) {
 	g := geo(t, 64)
 	// All rows weak: factor 1, no decimation — pure rotation.
-	r := NewRAIDR(g, RetentionBins{OneWindow: 1})
+	r, err := NewRAIDR(g, RetentionBins{OneWindow: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for want := 0; want < g.TotalBanks(); want++ {
 		tgt := r.Next(0, nil)
 		if tgt.Skip || tgt.GlobalBank != want {

@@ -1,6 +1,10 @@
 package refresh
 
-import "refsched/internal/sim"
+import (
+	"fmt"
+
+	"refsched/internal/sim"
+)
 
 // RetentionBins describes a synthetic retention-time profile: the
 // fraction of rows whose weakest cell retains data for only one, two,
@@ -23,6 +27,24 @@ func DefaultRetentionBins() RetentionBins {
 // the profile requires.
 func (b RetentionBins) RefreshRateFactor() float64 {
 	return b.OneWindow + b.TwoWindow/2 + b.FourWindow/4
+}
+
+// Validate rejects profiles that are not a plausible row partition:
+// negative fractions, fractions summing past 1, or a profile whose
+// refresh-rate factor is not in (0, 1] — a non-positive factor would
+// silently disable refresh entirely (the decimation accumulator never
+// fires), which is a misconfiguration, not a policy.
+func (b RetentionBins) Validate() error {
+	if b.OneWindow < 0 || b.TwoWindow < 0 || b.FourWindow < 0 {
+		return fmt.Errorf("refresh: retention bins must be non-negative, got %+v", b)
+	}
+	if sum := b.OneWindow + b.TwoWindow + b.FourWindow; sum > 1+1e-9 {
+		return fmt.Errorf("refresh: retention bins sum to %g > 1", sum)
+	}
+	if f := b.RefreshRateFactor(); f <= 0 || f > 1 {
+		return fmt.Errorf("refresh: retention profile requires refresh-rate factor in (0,1], got %g", f)
+	}
+	return nil
 }
 
 // RAIDR is retention-aware intelligent DRAM refresh (Liu et al., ISCA
@@ -52,14 +74,18 @@ type RAIDR struct {
 }
 
 // NewRAIDR builds the policy with the given (synthetic) profile; zero
-// bins select DefaultRetentionBins.
-func NewRAIDR(g Geometry, bins RetentionBins) *RAIDR {
+// bins select DefaultRetentionBins. A non-zero profile that fails
+// Validate is a configuration error reported at construction.
+func NewRAIDR(g Geometry, bins RetentionBins) (*RAIDR, error) {
 	if bins == (RetentionBins{}) {
 		bins = DefaultRetentionBins()
 	}
+	if err := bins.Validate(); err != nil {
+		return nil, err
+	}
 	r := &RAIDR{g: g, bins: bins, factor: bins.RefreshRateFactor()}
 	r.interval, _, r.rows = perBankParams(g)
-	return r
+	return r, nil
 }
 
 // Name implements Scheduler.

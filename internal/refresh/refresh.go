@@ -110,7 +110,9 @@ func New(p config.RefreshPolicy, g Geometry) (Scheduler, error) {
 	case config.RefreshPausing:
 		return NewPausing(g), nil
 	case config.RefreshRAIDR:
-		return NewRAIDR(g, RetentionBins{}), nil
+		// The default profile is explicit here: callers with a configured
+		// profile (core.newPolicy) construct NewRAIDR directly.
+		return NewRAIDR(g, DefaultRetentionBins())
 	case config.RefreshPerBankSA:
 		if g.Subarrays <= 1 {
 			return nil, fmt.Errorf("refresh: perbanksa requires SubarraysPerBank > 1")

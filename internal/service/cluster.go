@@ -359,6 +359,22 @@ func (s *Server) handleCellExec(w http.ResponseWriter, r *http.Request) {
 	p.Ctx = r.Context()
 	p.HardCtx = r.Context()
 	p.CellRunner = s.remoteCellRunner(cr.Priority)
+	// Exact cells run under the checkpoint driver so a node that starts
+	// draining mid-cell yields at its next boundary and ships the
+	// partial progress back (see the snapshot response below) instead
+	// of discarding it.
+	var store *cellStore
+	if cr.Mode != harness.ModeApprox {
+		store = newCellStore(nil)
+		p.Snapshots = store
+		p.CheckpointEvery = s.cfg.CheckpointEvery
+		p.Preempt = func() error {
+			if s.draining.Load() || r.Context().Err() != nil {
+				return errPreempted
+			}
+			return nil
+		}
+	}
 
 	rep, err := harness.RunCell(p, cr.Mix, cr.Density, cr.Bundle, cr.Hot)
 
@@ -378,6 +394,24 @@ func (s *Server) handleCellExec(w http.ResponseWriter, r *http.Request) {
 		s.log.Warn("remote cell failed",
 			"cell", fmt.Sprintf("%s/%s/%s", cr.Mix, cr.Density, cr.Bundle),
 			"origin", cr.Origin, "err", err.Error())
+		// A failure that left a checkpoint behind (this node draining,
+		// or any abort past a boundary snapshot) ships the partial
+		// progress to the coordinator, which resumes the cell locally
+		// instead of recomputing it. An encode failure mid-body is
+		// unrecoverable over HTTP; the coordinator's decode rejects the
+		// torn snapshot (CRC) and falls back to the full re-run.
+		if store != nil {
+			if st := store.takeAny(); st != nil {
+				w.Header().Set(cluster.CellSnapshotHeader, "1")
+				w.Header().Set("Content-Type", "application/octet-stream")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				if werr := core.EncodeSnapshot(w, st); werr != nil {
+					s.log.Warn("shipping cell snapshot failed",
+						"origin", cr.Origin, "err", werr.Error())
+				}
+				return
+			}
+		}
 		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
 		return
 	}
@@ -443,6 +477,7 @@ func (s *Server) registerClusterMetrics() {
 	cl.CounterFunc("cache_lookups_served", c.CacheServed.Load)
 	cl.CounterFunc("fanout_cells_dispatched", c.CellsDispatched.Load)
 	cl.CounterFunc("fanout_cells_reclaimed", c.CellsReclaimed.Load)
+	cl.CounterFunc("fanout_cells_resumed", c.CellsResumed.Load)
 	cl.CounterFunc("remote_cells_executed", c.CellsExecuted.Load)
 	for _, m := range c.Members() {
 		if m.ID == c.Self().ID {

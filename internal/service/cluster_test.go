@@ -13,6 +13,8 @@ import (
 	"time"
 
 	"refsched/internal/cluster"
+	"refsched/internal/core"
+	"refsched/internal/harness"
 )
 
 // swapHandler lets the httptest listeners exist (so peer addresses are
@@ -455,5 +457,72 @@ func TestClusterFanoutPeerDownByteIdentical(t *testing.T) {
 	if st0.CellsDispatched != st0.CellsReclaimed {
 		t.Fatalf("dispatched %d != reclaimed %d with a dead peer",
 			st0.CellsDispatched, st0.CellsReclaimed)
+	}
+}
+
+// TestClusterFanoutSnapshotResume: a peer that cannot finish a
+// dispatched cell but checkpointed it ships the snapshot back, and the
+// coordinator resumes the cell from mid-run instead of recomputing —
+// with the figure still byte-identical to the serial reference. The
+// peer is simulated by an interceptor that runs each cell to its
+// second checkpoint boundary (exactly the drain path's behaviour, made
+// deterministic) and answers 503 + snapshot.
+func TestClusterFanoutSnapshotResume(t *testing.T) {
+	want := expectedFig10(t)
+	cn := newClusterNodes(t, 2, 2, nil)
+
+	s1 := cn.svcs["n1"]
+	cn.swaps["n1"].swap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !(r.Method == http.MethodPost && r.URL.Path == "/v1/cells") {
+			s1.ServeHTTP(w, r) // probes etc: the node looks healthy
+			return
+		}
+		var cr cluster.CellRequest
+		if err := json.NewDecoder(r.Body).Decode(&cr); err != nil {
+			t.Error(err)
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		p := cr.Params()
+		store := newCellStore(nil)
+		p.Snapshots = store
+		boundaries := 0
+		p.Preempt = func() error {
+			if boundaries++; boundaries >= 2 {
+				return errPreempted
+			}
+			return nil
+		}
+		if _, err := harness.RunCell(p, cr.Mix, cr.Density, cr.Bundle, cr.Hot); err == nil {
+			t.Error("interceptor cell ran to completion instead of preempting")
+		}
+		st := store.takeAny()
+		if st == nil {
+			t.Error("preempted cell left no snapshot")
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set(cluster.CellSnapshotHeader, "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		if err := core.EncodeSnapshot(w, st); err != nil {
+			t.Error(err)
+		}
+	}))
+
+	resp, body := cn.get(t, "n0", "/v1/figures/fig10", map[string]string{"X-Refsched-Forwarded": "test"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resumed GET: %d: %s", resp.StatusCode, body)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatal("figure with snapshot-resumed cells differs from the serial reference render")
+	}
+
+	st0 := cn.clusterStats(t, "n0")
+	if st0.CellsDispatched == 0 {
+		t.Fatal("no cells were dispatched to the peer")
+	}
+	if st0.CellsResumed != st0.CellsDispatched {
+		t.Fatalf("dispatched %d cells but resumed %d — some recomputed from scratch",
+			st0.CellsDispatched, st0.CellsResumed)
 	}
 }

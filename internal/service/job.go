@@ -155,6 +155,11 @@ const (
 	// checkpoint). Expired is a terminal answer, not a loss: the job
 	// stays addressable and reports why it produced nothing.
 	JobExpired JobState = "expired"
+	// JobPreempted: a higher-priority arrival displaced this running
+	// job at a checkpoint boundary. Not terminal — the job is back on
+	// the queue with its mid-cell snapshots held, and its next run
+	// resumes from them instead of recomputing.
+	JobPreempted JobState = "preempted"
 )
 
 // CellFailure is the wire form of a quarantined cell's typed error
@@ -199,6 +204,7 @@ type JobStatus struct {
 	Deduped     int           `json:"deduped,omitempty"`
 	CellsDone   int           `json:"cells_done"`
 	CellsTotal  int           `json:"cells_total"`
+	Preemptions int           `json:"preemptions,omitempty"`
 	ResultBytes int           `json:"result_bytes,omitempty"`
 	Error       string        `json:"error,omitempty"`
 	Quarantined []CellFailure `json:"quarantined,omitempty"`
@@ -238,6 +244,17 @@ type job struct {
 	// contribute zero — the analytical model runs no events.
 	engineEvents atomic.Uint64
 
+	// boundaries counts checkpoint boundaries crossed by the job's
+	// cells (each one a point where a preemption request can land).
+	// Exposed so tests and the watchdog can see a job is preemptible.
+	boundaries atomic.Uint64
+
+	// snaps holds the job's mid-cell snapshots and finished-cell
+	// reports across preemptions. Allocated once at job creation and
+	// kept through requeues, so a job preempted twice still resumes
+	// from its furthest checkpoint. Nil for approx-mode jobs.
+	snaps *cellStore
+
 	mu         sync.Mutex
 	state      JobState
 	started    time.Time
@@ -249,7 +266,13 @@ type job struct {
 	// future killer) fired; it wins the post-run state classification.
 	softCancel func()
 	hardCancel func()
+	armGen     uint64
 	killErr    error
+	// preempt is the pending preemption request: set by requestPreempt,
+	// observed by the run's boundary callback, cleared when the job is
+	// requeued. preemptions counts how many times the job was displaced.
+	preempt     bool
+	preemptions int
 	// tenantHeld marks that this job owns one slot of its tenant's
 	// in-flight budget, released exactly once when the job finishes.
 	tenantHeld bool
@@ -373,18 +396,27 @@ func (j *job) cellDone(c runner.Cell) {
 	})
 }
 
-// arm installs the run's cancellation hooks; disarm removes them when
-// the run returns (so a late watchdog scan cannot cancel a context
-// that has already been recycled).
-func (j *job) arm(soft, hard func()) {
+// arm installs the run's cancellation hooks and returns a generation
+// token; disarm removes them when the run returns (so a late watchdog
+// scan cannot cancel a context that has already been recycled). The
+// token makes disarm a no-op when a newer run has re-armed meanwhile —
+// a preempted job is back on the queue before its old run finishes
+// unwinding, and the unwinding run must not strip the hooks the next
+// one installed.
+func (j *job) arm(soft, hard func()) uint64 {
 	j.mu.Lock()
+	j.armGen++
+	gen := j.armGen
 	j.softCancel, j.hardCancel = soft, hard
 	j.mu.Unlock()
+	return gen
 }
 
-func (j *job) disarm() {
+func (j *job) disarm(gen uint64) {
 	j.mu.Lock()
-	j.softCancel, j.hardCancel = nil, nil
+	if j.armGen == gen {
+		j.softCancel, j.hardCancel = nil, nil
+	}
 	j.mu.Unlock()
 }
 
@@ -408,6 +440,36 @@ func (j *job) kill(err error) bool {
 		soft()
 	}
 	return true
+}
+
+// requestPreempt asks a running job to yield at its next checkpoint
+// boundary. It fires only the soft cancel: in-flight cells reach their
+// next boundary, snapshot into the job's store, and abort with the
+// preemption sentinel — a hard cancel would skip the snapshot and turn
+// the preemption into a recompute. Returns whether this call posted
+// the request (false if the job is not running, is being killed, or a
+// preemption is already pending).
+func (j *job) requestPreempt() bool {
+	j.mu.Lock()
+	if j.state != JobRunning || j.killErr != nil || j.preempt {
+		j.mu.Unlock()
+		return false
+	}
+	j.preempt = true
+	j.preemptions++
+	soft := j.softCancel
+	j.mu.Unlock()
+	if soft != nil {
+		soft()
+	}
+	return true
+}
+
+// preemptRequested reports whether a preemption request is pending.
+func (j *job) preemptRequested() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.preempt
 }
 
 // killed returns the kill reason, nil if the job was never killed.
@@ -486,6 +548,7 @@ func (j *job) snapshot() JobStatus {
 		CellsDone:  j.cellsDone,
 		CellsTotal: j.cellsTotal,
 	}
+	st.Preemptions = j.preemptions
 	if j.req.Cell != nil {
 		st.Cell = j.req.Cell
 	} else {

@@ -1,0 +1,95 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"refsched/internal/core"
+)
+
+// errPreempted is the sentinel a preempted run aborts with. The
+// harness's boundary callback returns it after the cell's snapshot is
+// safely in the job's store; execute classifies it into JobPreempted
+// and requeues the job instead of failing it.
+var errPreempted = errors.New("service: job preempted at checkpoint boundary")
+
+// cellStore is the daemon's harness.SnapshotStore: one per job,
+// holding mid-cell snapshots and finished-cell reports across
+// preemptions. Worker goroutines of one sweep access it concurrently
+// (Parallelism > 1), so everything is mutex-guarded.
+//
+// LoadSnapshot has take semantics — the entry is removed as it is
+// handed out. core.Restore overlays layer state by reference in
+// places, so a snapshot that has been resumed once is live simulation
+// state and must never restore a second time. If the resumed run is
+// preempted again, its boundary callback saves a fresh, further-along
+// snapshot.
+type cellStore struct {
+	mu      sync.Mutex
+	snaps   map[string]*core.SystemState
+	reports map[string]*core.Report
+	// resumes is the server's preempt.resumes counter: bumped each time
+	// a snapshot is handed back out — a cell that continued from its
+	// checkpoint instead of recomputing. Nil-safe for tests.
+	resumes *atomic.Uint64
+}
+
+func newCellStore(resumes *atomic.Uint64) *cellStore {
+	return &cellStore{
+		snaps:   make(map[string]*core.SystemState),
+		reports: make(map[string]*core.Report),
+		resumes: resumes,
+	}
+}
+
+func (c *cellStore) LoadSnapshot(key string) *core.SystemState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.snaps[key]
+	if !ok {
+		return nil
+	}
+	delete(c.snaps, key)
+	if c.resumes != nil {
+		c.resumes.Add(1)
+	}
+	return st
+}
+
+func (c *cellStore) SaveSnapshot(key string, st *core.SystemState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.snaps[key] = st
+}
+
+func (c *cellStore) DropSnapshot(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.snaps, key)
+}
+
+// takeAny removes and returns one stored snapshot, whichever it is —
+// the remote-cell executor's store holds at most one cell, and the
+// shipping path does not know the harness's key. Nil when empty.
+func (c *cellStore) takeAny() *core.SystemState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, st := range c.snaps {
+		delete(c.snaps, key)
+		return st
+	}
+	return nil
+}
+
+func (c *cellStore) LoadReport(key string) *core.Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reports[key]
+}
+
+func (c *cellStore) SaveReport(key string, rep *core.Report) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reports[key] = rep
+}

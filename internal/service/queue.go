@@ -49,10 +49,13 @@ func (q *jobQueue) push(j *job) error {
 	return nil
 }
 
-// forcePush enqueues j even beyond the depth bound. It exists for WAL
-// recovery only: jobs the previous process acknowledged were already
-// admitted under the bound once, and dropping them on restart would
-// turn a crash into acknowledged-job loss.
+// forcePush enqueues j even beyond the depth bound, for jobs that were
+// already admitted under the bound once: WAL recovery (dropping them on
+// restart would turn a crash into acknowledged-job loss) and preempted
+// jobs returning to the queue (shedding them would turn a preemption
+// into a rejection the client was never warned about). The fresh seq
+// keeps FIFO-within-priority honest: a requeued job waits behind
+// same-priority work that arrived while it ran.
 func (q *jobQueue) forcePush(j *job) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()

@@ -95,6 +95,14 @@ type Config struct {
 	// Watchdog tunes the stalled-job watchdog and the resilience
 	// loop's tick.
 	Watchdog WatchdogConfig
+	// CheckpointEvery is the engine-cycle cadence of checkpoint
+	// boundaries inside exact-mode cells (default: four timeslices; see
+	// harness.Params.CheckpointEvery). Boundaries are where a
+	// preemption request lands: a higher-priority arrival with no free
+	// worker displaces the lowest-priority running exact job at its
+	// next boundary, snapshotting every in-flight cell so the requeued
+	// job resumes mid-cell instead of recomputing.
+	CheckpointEvery uint64
 	// DrainTimeout bounds how long Shutdown waits for in-flight jobs
 	// before cancelling them gracefully (default 30s).
 	DrainTimeout time.Duration
@@ -192,6 +200,8 @@ type Server struct {
 	expired                        atomic.Uint64 // jobs shed or cancelled by deadline
 	panics                         atomic.Uint64 // HTTP handler panics recovered
 	watchdogKills, watchdogScans   atomic.Uint64
+	preemptions                    atomic.Uint64 // running jobs displaced by priority
+	preemptResumes                 atomic.Uint64 // cells resumed from a preemption snapshot
 	shedBrownout                   atomic.Uint64 // jobs rejected while browned out
 	eventDrops                     atomic.Uint64 // slow-subscriber event drops
 	simulations                    atomic.Uint64 // runner.RunBatch executions
@@ -468,6 +478,10 @@ func (s *Server) registerMetrics() {
 	wd := root.Sub("watchdog")
 	wd.CounterFunc("kills", s.watchdogKills.Load)
 	wd.CounterFunc("scans", s.watchdogScans.Load)
+
+	pr := root.Sub("preempt")
+	pr.CounterFunc("preemptions", s.preemptions.Load)
+	pr.CounterFunc("resumes", s.preemptResumes.Load)
 
 	root.Sub("http").CounterFunc("panics", s.panics.Load)
 	root.Sub("events").CounterFunc("dropped", s.eventDrops.Load)
@@ -782,9 +796,9 @@ func (s *Server) execute(j *job) {
 		softCtx, softCancel = context.WithDeadline(s.runCtx, j.deadline)
 		hardCtx, hardCancel = context.WithDeadline(context.Background(), j.deadline)
 	}
-	j.arm(softCancel, hardCancel)
+	gen := j.arm(softCancel, hardCancel)
 	defer func() {
-		j.disarm()
+		j.disarm(gen)
 		softCancel()
 		hardCancel()
 	}()
@@ -793,6 +807,22 @@ func (s *Server) execute(j *job) {
 	p.Ctx = softCtx
 	p.HardCtx = hardCtx
 	p.CellRunner = s.cellRunner(j)
+	if j.snaps != nil {
+		// Exact-mode jobs run under the checkpoint driver: the store
+		// keeps mid-cell snapshots and finished-cell reports across
+		// preemptions, and the boundary poll is where a preemption
+		// request takes effect. The leg structure is invisible — a
+		// checkpointed cell's report is byte-identical to a plain run's.
+		p.Snapshots = j.snaps
+		p.CheckpointEvery = s.cfg.CheckpointEvery
+		p.Preempt = func() error {
+			j.boundaries.Add(1)
+			if j.preemptRequested() {
+				return errPreempted
+			}
+			return nil
+		}
+	}
 
 	var body []byte
 	var failures []*runner.CellError
@@ -833,6 +863,21 @@ func (s *Server) execute(j *job) {
 		// the cancellation produced downstream, the story is the kill.
 		s.failed.Add(1)
 		s.finishJob(j, JobFailed, nil, failures, j.killed(), false)
+	case (err != nil || len(failures) > 0) && j.preemptRequested() && !j.pastDeadline():
+		// A preemption request landed and the run unwound (cells abort
+		// with errPreempted at their next boundary; the soft cancel skips
+		// the rest). The job is not finished — its snapshots are in the
+		// store, so it goes back on the queue and resumes from them. If
+		// the run beat the request to completion (err and failures both
+		// clean), the preemption was a no-op and the later cases classify
+		// the finished result as usual.
+		s.preemptions.Add(1)
+		j.tl.Instant(tlPidService, tlTidJob, "preempted", j.sinceUS())
+		s.requeuePreempted(j)
+		s.log.Info("job preempted",
+			"job", j.id, "figure", j.figure,
+			"duration_ms", float64(time.Since(t0).Microseconds())/1000)
+		return
 	case (err != nil || len(failures) > 0) && j.pastDeadline():
 		// The deadline elapsed mid-run and the cancellation unwound the
 		// sweep — either as a batch-level error or as per-cell failures
@@ -863,6 +908,30 @@ func (s *Server) execute(j *job) {
 	s.log.Info("job finished",
 		"job", j.id, "figure", j.figure, "state", st.State,
 		"cells", st.CellsDone, "duration_ms", float64(time.Since(t0).Microseconds())/1000)
+}
+
+// requeuePreempted returns a displaced job to the queue. The job stays
+// in the active map (coalescing requests keep landing on it, its id
+// keeps answering status polls) and keeps its tenant hold and WAL
+// record — it was admitted once and is still in flight, just not on a
+// worker. Cell progress resets because the next run re-enumerates the
+// sweep; completed cells answer instantly from the store's reports and
+// the mid-cell snapshots resume the interrupted ones. Only a queue
+// that closed for draining can refuse, turning the preemption into a
+// terminal failure.
+func (s *Server) requeuePreempted(j *job) {
+	j.mu.Lock()
+	j.preempt = false
+	j.state = JobPreempted
+	j.started = time.Time{}
+	j.cellsDone, j.cellsTotal = 0, 0
+	j.mu.Unlock()
+	j.hub.publish(map[string]any{"event": "state", "job": j.id, "state": JobPreempted})
+	if err := s.queue.forcePush(j); err != nil {
+		s.failed.Add(1)
+		s.finishJob(j, JobFailed, nil, nil,
+			fmt.Errorf("service: preempted job could not requeue: %w", err), false)
+	}
 }
 
 // finishJob moves j to a terminal state, clears its single-flight
@@ -1052,6 +1121,12 @@ func (s *Server) enqueue(req Request, rid string, adm admitContext) (j *job, ded
 		reqID:    rid,
 	}
 	j.hub.drops = &s.eventDrops
+	if params.Mode != harness.ModeApprox {
+		// Exact jobs carry a snapshot store for their whole life, so a
+		// job preempted more than once still resumes from its furthest
+		// checkpoint. Approx jobs have no event loop to snapshot.
+		j.snaps = newCellStore(&s.preemptResumes)
+	}
 	s.enqueued.Add(1)
 
 	// Already computed: answer without a queue trip. No WAL record is
@@ -1115,6 +1190,7 @@ func (s *Server) enqueue(req Request, rid string, adm admitContext) (j *job, ded
 			}
 			return nil, false, err
 		}
+		s.maybePreempt(j)
 	} else {
 		s.tenants.hold(adm.tenant)
 		j.tenantHeld = true
@@ -1129,6 +1205,39 @@ func (s *Server) enqueue(req Request, rid string, adm admitContext) (j *job, ded
 	s.active[key] = j
 	j.hub.publish(map[string]any{"event": "state", "job": j.id, "state": JobQueued})
 	return j, false, nil
+}
+
+// maybePreempt runs under jobsMu after a fresh job joins the queue:
+// when every worker is busy and some running exact job is strictly
+// lower-priority than the arrival, the lowest-priority such job is
+// asked to yield at its next checkpoint boundary. Only the request is
+// posted here — the displaced job snapshots, unwinds, and requeues on
+// its own worker (see execute's preempted case), and the freed worker
+// then pops the highest-priority job, which is the arrival.
+func (s *Server) maybePreempt(incoming *job) {
+	if s.running.Load() < int64(s.cfg.Workers) {
+		return
+	}
+	var victim *job
+	for _, j := range s.active {
+		if j == incoming || j.snaps == nil || j.priority >= incoming.priority {
+			continue
+		}
+		j.mu.Lock()
+		eligible := j.state == JobRunning && j.killErr == nil && !j.preempt
+		j.mu.Unlock()
+		if !eligible {
+			continue
+		}
+		if victim == nil || j.priority < victim.priority {
+			victim = j
+		}
+	}
+	if victim != nil && victim.requestPreempt() {
+		s.log.Info("preempting job",
+			"job", victim.id, "priority", victim.priority,
+			"for", incoming.id, "incoming_priority", incoming.priority)
+	}
 }
 
 // releaseTenantHold returns j's in-flight slot to its tenant, exactly
@@ -1586,6 +1695,8 @@ type Stats struct {
 		BrownoutEngagements uint64 `json:"brownout_engagements"`
 		BrownoutDegraded    uint64 `json:"brownout_degraded"`
 		WatchdogKills       uint64 `json:"watchdog_kills"`
+		Preemptions         uint64 `json:"preemptions"`
+		PreemptResumes      uint64 `json:"preempt_resumes"`
 		HTTPPanics          uint64 `json:"http_panics"`
 		EventsDropped       uint64 `json:"events_dropped"`
 	} `json:"resilience"`
@@ -1645,6 +1756,8 @@ func projectStats(snap metrics.Snapshot) Stats {
 	st.Resilience.BrownoutEngagements = snap.Counter("brownout.engagements")
 	st.Resilience.BrownoutDegraded = snap.Counter("brownout.degraded")
 	st.Resilience.WatchdogKills = snap.Counter("watchdog.kills")
+	st.Resilience.Preemptions = snap.Counter("preempt.preemptions")
+	st.Resilience.PreemptResumes = snap.Counter("preempt.resumes")
 	st.Resilience.HTTPPanics = snap.Counter("http.panics")
 	st.Resilience.EventsDropped = snap.Counter("events.dropped")
 	st.Simulations = snap.Counter("simulations")

@@ -13,12 +13,50 @@ import "math/bits"
 // Time is a point in simulated time, measured in CPU clock cycles.
 type Time = uint64
 
-// event is a scheduled closure.
+// Payload is a typed, closure-free event body. An event scheduled with a
+// payload carries no Go closure: it is dispatched through the engine's
+// exec hook (see SetExec), which routes on Kind and the operand words.
+// Payload events are the serializable subset of the event population —
+// an engine whose pending events are all payloads can be checkpointed
+// and restored exactly (see SnapshotState).
+type Payload struct {
+	Kind uint16
+	A    uint64
+	B    uint64
+	C    uint64
+	D    uint64
+	E    uint64
+}
+
+// Payload kinds. The registry is central (rather than per-package) so a
+// snapshot can be validated against one closed set and the dispatcher in
+// internal/core can switch exhaustively.
+const (
+	KindNone uint16 = iota
+	// Memory controller (A = channel index).
+	KindMCRefreshTick // periodic refresh scheduling tick
+	KindMCTryIssue    // FR-FCFS issue re-evaluation
+	// Request completion (A = channel, B = core+1 (0 = unowned), C = miss
+	// id, D = miss epoch). Unowned completions (writebacks) still execute
+	// as events so Executed counts match the closure implementation.
+	KindMCComplete
+	// CPU core (A = core index).
+	KindCPUSubmitRead  // B = line addr, C = miss id, D = epoch, E = task id + 1
+	KindCPUSubmitWrite // B = line addr, E = task id + 1
+	KindCPUQuantumEnd  // B = deferred quantum-end time
+	// Kernel scheduler.
+	KindKernelDispatch // A = cpu index, B = dispatch time
+	KindKernelRunTask  // A = cpu index, B = task id, C = quantum end
+	KindKernelWake     // A = task id, B = cpu index
+)
+
+// event is a scheduled closure or typed payload (fn == nil).
 type event struct {
 	when Time
 	seq  uint64 // tie-breaker: FIFO among events at the same cycle
 	dom  int32  // affinity domain (0 = shared state, run serially)
 	fn   func()
+	p    Payload
 }
 
 // eventLess orders events by (when, seq).
@@ -93,6 +131,10 @@ type Engine struct {
 
 	par *parallel // non-nil once EnableParallel has been called
 
+	// exec dispatches payload events (events scheduled without a
+	// closure); installed once by the system owner via SetExec.
+	exec func(Payload)
+
 	// Cooperative cancellation checkpoint (see SetCheckpoint): check is
 	// consulted at most once per checkInterval cycles of clock advance,
 	// so a cancelled context aborts a long simulation within a bounded
@@ -161,13 +203,38 @@ func (e *Engine) ScheduleAt(t Time, fn func()) {
 	e.schedule(t, 0, fn)
 }
 
+// SetExec installs the dispatcher for payload events. Scheduling a
+// payload without a dispatcher installed is a programming error caught
+// at execution time.
+func (e *Engine) SetExec(fn func(Payload)) { e.exec = fn }
+
+// ScheduleP schedules a payload event after delay cycles (possibly
+// zero), exactly like Schedule but closure-free.
+func (e *Engine) ScheduleP(delay Time, p Payload) {
+	if delay == 0 {
+		e.seq++
+		e.fifo = append(e.fifo, event{when: e.now, seq: e.seq, p: p})
+		return
+	}
+	e.SchedulePAt(e.now+delay, p)
+}
+
+// SchedulePAt schedules a payload event at absolute time t.
+func (e *Engine) SchedulePAt(t Time, p Payload) {
+	e.scheduleEv(t, 0, nil, p)
+}
+
 // schedule routes an event to the right store by its distance from now.
 func (e *Engine) schedule(t Time, dom int32, fn func()) {
+	e.scheduleEv(t, dom, fn, Payload{})
+}
+
+func (e *Engine) scheduleEv(t Time, dom int32, fn func(), p Payload) {
 	if t < e.now {
 		panic(&PastEventError{T: t, Now: e.now})
 	}
 	e.seq++
-	ev := event{when: t, seq: e.seq, dom: dom, fn: fn}
+	ev := event{when: t, seq: e.seq, dom: dom, fn: fn, p: p}
 	switch {
 	case t == e.now:
 		e.fifo = append(e.fifo, ev)
@@ -176,6 +243,19 @@ func (e *Engine) schedule(t Time, dom int32, fn func()) {
 	default:
 		e.heapPush(ev)
 	}
+}
+
+// run executes one event body: the closure if present, else the payload
+// dispatcher.
+func (e *Engine) run(ev event) {
+	if ev.fn != nil {
+		ev.fn()
+		return
+	}
+	if e.exec == nil {
+		panic("sim: payload event scheduled without a SetExec dispatcher")
+	}
+	e.exec(ev.p)
 }
 
 // --- calendar queue ---
@@ -355,7 +435,7 @@ func (e *Engine) Step() bool {
 		e.fifoHead = 0
 	}
 	e.Executed++
-	ev.fn()
+	e.run(ev)
 	return true
 }
 
@@ -408,7 +488,7 @@ func (e *Engine) RunUntil(t Time) {
 					e.fifoHead = 0
 				}
 				e.Executed++
-				ev.fn()
+				e.run(ev)
 				if e.stopped {
 					return
 				}

@@ -31,18 +31,22 @@ import "sync"
 // enforce this. Parallelism is opt-in (see core.Options) and a no-op
 // for single-channel configurations.
 
-// staged is one Schedule call captured during a parallel batch.
+// staged is one Schedule call captured during a parallel batch. A nil
+// fn means a payload event (p carries the body).
 type staged struct {
 	pos  int32 // position in the batch of the event that made the call
 	dom  int32
 	when Time
 	fn   func()
+	p    Payload
 }
 
-// parEvent is one event handed to a domain worker.
+// parEvent is one event handed to a domain worker. A nil fn means a
+// payload event.
 type parEvent struct {
 	pos int32
 	fn  func()
+	p   Payload
 }
 
 // panicRec captures a worker panic for re-raising on the main goroutine.
@@ -66,6 +70,11 @@ type parallel struct {
 	groups  [][]parEvent
 	panics  []panicRec
 	work    []chan []parEvent
+
+	// exec mirrors Engine.exec for the duration of a batch so workers
+	// can run payload events; written before dispatch, read only by
+	// workers while the batch is in flight.
+	exec func(Payload)
 
 	wg    sync.WaitGroup
 	start sync.Once
@@ -142,6 +151,30 @@ func (d *Domain) ScheduleAt(t Time, fn func()) {
 	e.schedule(t, d.id, fn)
 }
 
+// SchedulePAt schedules a payload event at absolute time t, tagged with
+// d's domain — the closure-free counterpart of ScheduleAt.
+func (d *Domain) SchedulePAt(t Time, pl Payload) {
+	e := d.eng
+	if p := e.par; p != nil && p.active {
+		p.staging[d.id] = append(p.staging[d.id],
+			staged{pos: p.cur[d.id], dom: d.id, when: t, p: pl})
+		return
+	}
+	e.scheduleEv(t, d.id, nil, pl)
+}
+
+// SchedulePSharedAt schedules a payload event at absolute time t on
+// domain 0 — the closure-free counterpart of ScheduleSharedAt.
+func (d *Domain) SchedulePSharedAt(t Time, pl Payload) {
+	e := d.eng
+	if p := e.par; p != nil && p.active {
+		p.staging[d.id] = append(p.staging[d.id],
+			staged{pos: p.cur[d.id], dom: 0, when: t, p: pl})
+		return
+	}
+	e.scheduleEv(t, 0, nil, pl)
+}
+
 // ScheduleShared runs fn after delay cycles as an untagged (domain-0)
 // event — for work that touches state outside d's domain, such as
 // request-completion callbacks into the cores, which must run serially.
@@ -190,7 +223,11 @@ func (p *parallel) runBatch(dom int32, b []parEvent) {
 	}()
 	for ; k < len(b); k++ {
 		p.cur[dom] = b[k].pos
-		b[k].fn()
+		if b[k].fn != nil {
+			b[k].fn()
+		} else {
+			p.exec(b[k].p)
+		}
 	}
 }
 
@@ -223,10 +260,16 @@ func (e *Engine) runParallel() bool {
 	for k := i; k < j; k++ {
 		ev := f[k]
 		f[k] = event{} // release the closure for GC
-		p.groups[ev.dom] = append(p.groups[ev.dom], parEvent{pos: int32(k - i), fn: ev.fn})
+		p.groups[ev.dom] = append(p.groups[ev.dom], parEvent{pos: int32(k - i), fn: ev.fn, p: ev.p})
 	}
 
 	// Dispatch and barrier.
+	p.exec = e.exec
+	if p.exec == nil {
+		p.exec = func(Payload) {
+			panic("sim: payload event scheduled without a SetExec dispatcher")
+		}
+	}
 	p.active = true
 	for d := 1; d <= p.ndom; d++ {
 		if len(p.groups[d]) > 0 {
@@ -283,7 +326,7 @@ func (e *Engine) runParallel() bool {
 		}
 		s := p.staging[best][p.sIdx[best]]
 		p.sIdx[best]++
-		e.schedule(s.when, s.dom, s.fn)
+		e.scheduleEv(s.when, s.dom, s.fn, s.p)
 	}
 	for d := 1; d <= p.ndom; d++ {
 		s := p.staging[d]

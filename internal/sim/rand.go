@@ -54,3 +54,9 @@ func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
 // Fork derives an independent stream from this one; used to hand each
 // sub-component its own reproducible sequence.
 func (r *Rand) Fork() *Rand { return NewRand(r.Uint64() | 1) }
+
+// State exposes the raw generator state for checkpointing.
+func (r *Rand) State() uint64 { return r.state }
+
+// SetState restores a state captured by State.
+func (r *Rand) SetState(s uint64) { r.state = s }

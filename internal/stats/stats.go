@@ -158,6 +158,32 @@ func (h *Histogram) Merge(v HistogramView) {
 	}
 }
 
+// HistogramState is the complete serializable state of a histogram,
+// including the dropped-sample counter the export View omits.
+type HistogramState struct {
+	View    HistogramView
+	Dropped uint64
+}
+
+// State captures the histogram for checkpointing.
+func (h *Histogram) State() HistogramState {
+	return HistogramState{View: h.View(), Dropped: h.dropped}
+}
+
+// SetState overwrites the histogram's contents with a captured state.
+// The shape (width, bucket count) must match the receiver's.
+func (h *Histogram) SetState(st HistogramState) {
+	if st.View.Width != h.Width || len(st.View.Counts) != len(h.buckets) {
+		panic("stats: restoring histogram state of a different shape")
+	}
+	copy(h.buckets, st.View.Counts)
+	h.over = st.View.Over
+	h.n = st.View.Count
+	h.sum = st.View.Sum
+	h.max = st.View.Max
+	h.dropped = st.Dropped
+}
+
 // Mean returns the mean observation, or 0 when empty.
 func (h *Histogram) Mean() float64 {
 	if h.n == 0 {

@@ -1,0 +1,43 @@
+package workload
+
+// State is the serializable state of a workload generator: the private
+// random stream plus, for streaming generators, the walk cursors. The
+// structural parameters (footprint split, strides, probabilities) are
+// reconstructed from configuration when the generator is rebuilt, so
+// only mutable fields appear here.
+type State struct {
+	Rnd uint64
+	// Stream cursors (StreamGen only).
+	Pos  []uint64
+	Next int
+	N    uint64
+}
+
+// Stateful is implemented by generators that can be checkpointed and
+// restored. Both built-in generator families implement it; user-defined
+// generators must too before a system containing them can snapshot.
+type Stateful interface {
+	State() State
+	SetState(State)
+}
+
+// State implements Stateful.
+func (g *StreamGen) State() State {
+	pos := make([]uint64, len(g.pos))
+	copy(pos, g.pos)
+	return State{Rnd: g.rnd.State(), Pos: pos, Next: g.next, N: g.n}
+}
+
+// SetState implements Stateful.
+func (g *StreamGen) SetState(st State) {
+	g.rnd.SetState(st.Rnd)
+	copy(g.pos, st.Pos)
+	g.next = st.Next
+	g.n = st.N
+}
+
+// State implements Stateful.
+func (g *IrregularGen) State() State { return State{Rnd: g.rnd.State()} }
+
+// SetState implements Stateful.
+func (g *IrregularGen) SetState(st State) { g.rnd.SetState(st.Rnd) }

@@ -191,6 +191,57 @@ type TimelineEvent = timeline.DecodedEvent
 // timeline as written by a TimelineRecorder.
 func ReadTimeline(r io.Reader) ([]TimelineEvent, error) { return timeline.Decode(r) }
 
+// SystemState is the complete serializable state of a running System at
+// a checkpoint boundary: machine identity (config, mix, footprint
+// scale), the run's interval parameters, and every layer's mutable
+// state down to pending engine events and random streams. A system
+// restored from it (RestoreSystem) and resumed produces byte-identical
+// output to the uninterrupted original run.
+type SystemState = core.SystemState
+
+// CheckpointFn receives each periodic snapshot during a checkpointed
+// run. Returning an error aborts the run with that error.
+type CheckpointFn = core.CheckpointFn
+
+// CorruptSnapshotError reports a snapshot file that failed structural
+// validation: bad magic, truncated body, checksum mismatch, or
+// undecodable contents.
+type CorruptSnapshotError = core.CorruptSnapshotError
+
+// SnapshotVersionError reports a snapshot written by a different
+// simulator revision — intact, but not resumable by this binary.
+type SnapshotVersionError = core.SnapshotVersionError
+
+// SnapshotVersion is the current snapshot format version.
+const SnapshotVersion = core.SnapshotVersion
+
+// WriteSnapshot writes st to path atomically (tmp + fsync + rename): a
+// crash mid-write leaves the previous snapshot or none, never a torn
+// file.
+func WriteSnapshot(path string, st *SystemState) error {
+	return core.WriteSnapshotFile(path, st)
+}
+
+// ReadSnapshot reads a snapshot written by WriteSnapshot, refusing
+// damaged or version-skewed files with a typed error
+// (CorruptSnapshotError / SnapshotVersionError).
+func ReadSnapshot(path string) (*SystemState, error) {
+	return core.ReadSnapshotFile(path)
+}
+
+// RestoreSystem rebuilds a system from a checkpoint. The machine is
+// reconstructed from the snapshot's own config and mix; opt may supply
+// a cancellation context (its FootprintScale and Seed are overridden by
+// the snapshot's, and ChannelParallel is rejected). Resume the result
+// to continue the interrupted run.
+func RestoreSystem(st *SystemState, opt Options) (*System, error) {
+	inner, err := core.Restore(st, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &System{inner: inner}, nil
+}
+
 // System is one wired simulated machine executing a workload mix.
 type System struct {
 	inner *core.System
@@ -238,6 +289,33 @@ func (s *System) Run(warmup, measure uint64) (*Report, error) {
 // RunWindows is Run with durations in retention windows.
 func (s *System) RunWindows(warmupWindows, measureWindows int) (*Report, error) {
 	return s.inner.RunWindows(warmupWindows, measureWindows)
+}
+
+// RunCheckpointed is Run with periodic checkpoints: every `every`
+// cycles of simulated time the machine is flattened into a SystemState
+// and handed to fn (persist it with WriteSnapshot). Checkpoint
+// boundaries split the engine's run into legs, which does not perturb
+// execution — the report is byte-identical to an uncheckpointed run.
+// Checkpointing is incompatible with an attached trace or timeline and
+// with parallel execution.
+func (s *System) RunCheckpointed(warmup, measure, every uint64, fn CheckpointFn) (*Report, error) {
+	return s.inner.RunCheckpointed(warmup, measure, every, fn)
+}
+
+// RunWindowsCheckpointed is RunCheckpointed with durations in retention
+// windows.
+func (s *System) RunWindowsCheckpointed(warmupWindows, measureWindows int, every uint64, fn CheckpointFn) (*Report, error) {
+	w := s.inner.Window()
+	return s.inner.RunCheckpointed(uint64(warmupWindows)*w, uint64(measureWindows)*w, every, fn)
+}
+
+// Resume continues a system built by RestoreSystem to the end of its
+// original run, optionally emitting further checkpoints (every/fn as in
+// RunCheckpointed; pass 0, nil for none). The returned report is
+// byte-identical to the one the uninterrupted original run would have
+// produced.
+func (s *System) Resume(every uint64, fn CheckpointFn) (*Report, error) {
+	return s.inner.Resume(every, fn)
 }
 
 // MetricsSnapshot reads every registered metric in the system,
